@@ -1,0 +1,64 @@
+"""Benchmarks: ablations of the paper's design decisions.
+
+Each bench removes one of the paper's four tricks (stage scaling,
+non-overlap removal, bulk-switched gates, the SC bias generator) and
+prints what the trick was buying."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_stage_scaling(benchmark):
+    """Paper section 2: scaling stages 2..10 saves power/area at a small
+    noise penalty."""
+    run_and_report(benchmark, "abl-scaling")
+
+
+def test_ablation_non_overlap_clocking(benchmark):
+    """Paper section 3: local clocking reclaims the non-overlap interval
+    for settling."""
+    run_and_report(benchmark, "abl-nonoverlap")
+
+
+def test_ablation_switch_style(benchmark):
+    """Paper section 3: bulk-switched gates vs plain TG vs the rejected
+    bootstrapped switch."""
+    run_and_report(benchmark, "abl-switch")
+
+
+def test_ablation_bias_generator(benchmark):
+    """Paper section 3 / Fig. 4: eq. (1) power scaling vs a worst-case
+    fixed bias."""
+    run_and_report(benchmark, "abl-bias")
+
+
+def test_ablation_capacitor_spread(benchmark):
+    """Paper section 3: eq. (1) absorbs the absolute capacitor spread a
+    fixed bias must margin for."""
+    run_and_report(benchmark, "abl-capspread")
+
+
+def test_extension_foreground_calibration(benchmark):
+    """Extension: foreground weight calibration recovers mismatch INL."""
+    run_and_report(benchmark, "ext-calibration", quick=True)
+
+
+def test_extension_noise_budget_audit(benchmark):
+    """Extension: the analytic noise budget matches the simulation."""
+    run_and_report(benchmark, "ext-noise-budget")
+
+
+def test_extension_pvt_corners(benchmark):
+    """Extension: five-corner PVT sign-off at 110 MS/s."""
+    run_and_report(benchmark, "ext-corners", quick=True)
+
+
+def test_extension_datasheet(benchmark):
+    """Extension: min/typ/max datasheet over a die batch."""
+    run_and_report(benchmark, "ext-datasheet", quick=True)
+
+
+def test_extension_dynamic_range_sweep(benchmark):
+    """Extension: SNDR vs amplitude (the standard dynamic-range plot)."""
+    run_and_report(benchmark, "ext-amplitude", quick=True)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Fig. 4 (power vs conversion rate).
+
+Prints the power series 10..130 MS/s and checks the 97 mW @ 110 MS/s
+and 110 mW @ 130 MS/s anchors plus linearity (paper eq. (1))."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig4_power_versus_conversion_rate(benchmark):
+    result = run_and_report(benchmark, "fig4")
+    # The regenerated series covers the full published axis.
+    rates = [float(row[0]) for row in result.rows]
+    assert min(rates) <= 10 and max(rates) >= 130

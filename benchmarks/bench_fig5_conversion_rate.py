@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Fig. 5 (SFDR/SNR/SNDR vs conversion rate).
+
+Prints the full 5..160 MS/s dynamic series at f_in = 10 MHz and checks
+the plateau (SNDR >= 64 dB, 20-120 MS/s), the 10-ENOB reach (>= 62 dB to
+140 MS/s) and the collapse beyond the knee."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig5_metrics_versus_conversion_rate(benchmark):
+    result = run_and_report(benchmark, "fig5")
+    rates = [float(row[0]) for row in result.rows]
+    assert min(rates) <= 5 and max(rates) >= 160

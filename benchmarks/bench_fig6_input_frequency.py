@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Fig. 6 (SFDR/SNR/SNDR vs input frequency).
+
+Prints the 2..150 MHz series at 110 MS/s (inputs beyond Nyquist are
+genuine undersampling) and checks the SNR jitter wall above 100 MHz and
+the input-switch SFDR roll-off."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig6_metrics_versus_input_frequency(benchmark):
+    result = run_and_report(benchmark, "fig6")
+    fins = [float(row[0]) for row in result.rows]
+    assert min(fins) <= 2 and max(fins) >= 150

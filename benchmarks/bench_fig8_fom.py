@@ -1,0 +1,14 @@
+"""Benchmark: regenerate paper Fig. 8 (figure of merit vs 1/area).
+
+Rebuilds the 15-converter scatter with this design's *measured* model
+numbers and checks the ordering claims (highest FM, 2nd-lowest area,
+2nd 1.8 V part, [5]-[7] nearest)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_figure_of_merit_survey(benchmark):
+    result = run_and_report(benchmark, "fig8")
+    assert len(result.rows) == 15
+    # Sorted by FM: the first row must be this work.
+    assert result.rows[0][-1] == "this-work"

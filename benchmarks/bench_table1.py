@@ -1,0 +1,19 @@
+"""Benchmark: regenerate paper Table I (key data) and Fig. 7 (area).
+
+Characterizes the canonical die at 110 MS/s — dynamic metrics, static
+linearity, power, area, figure of merit — and compares row by row."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1_key_data(benchmark):
+    result = run_and_report(benchmark, "table1")
+    parameters = {row[0] for row in result.rows}
+    for expected in ("SNR (fin=10MHz)", "DNL", "Area", "FM (eq. 2)"):
+        assert expected in parameters
+
+
+def test_fig7_area_budget(benchmark):
+    result = run_and_report(benchmark, "fig7")
+    blocks = {row[0] for row in result.rows}
+    assert "pipeline chain" in blocks and "total" in blocks

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (timed once via
+pytest-benchmark), prints the regenerated rows/series — the same numbers
+the paper reports — and asserts the paper-shape claims.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import ExperimentResult, run_experiment
+
+
+def run_and_report(benchmark, experiment_id: str, quick: bool = False):
+    """Time one experiment, print its report, and assert its claims."""
+    result: ExperimentResult = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"quick": quick},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    failed = [c.claim for c in result.claims if not c.passed]
+    assert not failed, f"{experiment_id} missed paper claims: {failed}"
+    return result

@@ -1,0 +1,98 @@
+"""IF-subsampling receiver scenario: the Fig. 6 story in application form.
+
+Communication systems — the paper's third named application — often
+sample a signal centered on an intermediate frequency *above* Nyquist
+and let aliasing do the downconversion.  That is exactly the regime the
+paper characterizes in Fig. 6 (inputs to 150 MHz at a 110 MS/s clock):
+aperture jitter and input-switch nonlinearity decide whether the IF
+channel is usable.
+
+This example digitizes (a) a single IF carrier at three IF choices and
+(b) a two-tone IF signal, reporting SNR/SFDR and the third-order
+intermodulation the two-tone test exposes.
+
+Run:  python examples/communication_if_sampling.py
+"""
+
+from repro import (
+    AdcConfig,
+    MultitoneGenerator,
+    PipelineAdc,
+    SineGenerator,
+    SpectrumAnalyzer,
+)
+from repro.signal.imd import TwoToneAnalyzer
+from repro.evaluation.reporting import format_table
+from repro.signal.coherent import coherent_frequency
+
+
+def single_carrier_table(adc, rate, n_samples):
+    analyzer = SpectrumAnalyzer()
+    rows = []
+    for label, target_if in (
+        ("1st Nyquist (baseband)", 10e6),
+        ("2nd Nyquist IF", 75e6),
+        ("3rd Nyquist IF", 140e6),
+    ):
+        tone = SineGenerator.coherent(target_if, rate, n_samples, amplitude=0.995)
+        metrics = analyzer.analyze(adc.convert(tone, n_samples).codes, rate)
+        rows.append(
+            (
+                label,
+                f"{tone.frequency / 1e6:.1f}",
+                f"{metrics.snr_db:.1f}",
+                f"{metrics.sndr_db:.1f}",
+                f"{metrics.sfdr_db:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ("channel plan", "f_IF [MHz]", "SNR [dB]", "SNDR [dB]", "SFDR [dB]"),
+            rows,
+            title="--- single-carrier IF sampling at 110 MS/s ---",
+        )
+    )
+    print()
+
+
+def two_tone_imd(adc, rate, n_samples):
+    """Closely spaced two-tone test around a 70 MHz IF."""
+    f1 = coherent_frequency(69e6, rate, n_samples)
+    f2 = coherent_frequency(71.5e6, rate, n_samples)
+    stimulus = MultitoneGenerator.two_tone(f1, f2, amplitude_each=0.47)
+    capture = adc.convert(stimulus, n_samples)
+
+    analyzer = TwoToneAnalyzer(spectrum=SpectrumAnalyzer(full_scale=2048.0))
+    result = analyzer.analyze(capture.codes, rate, f1, f2)
+    print("--- two-tone IMD at a 70 MHz IF ---")
+    print(f"tones: {f1 / 1e6:.2f} and {f2 / 1e6:.2f} MHz at -6.5 dBFS each")
+    for product in result.products:
+        if product.label in ("2f1-f2", "2f2-f1"):
+            print(
+                f"  {product.label}: {product.frequency / 1e6:7.2f} MHz -> "
+                f"bin {product.bin_index}, {product.power_dbc:6.1f} dBc"
+            )
+    print(result.summary())
+    print()
+    return result.imd3_dbc
+
+
+def main() -> None:
+    rate = 110e6
+    n_samples = 8192
+    adc = PipelineAdc(AdcConfig.paper_default(), conversion_rate=rate, seed=1)
+
+    single_carrier_table(adc, rate, n_samples)
+    two_tone_imd(adc, rate, n_samples)
+
+    print(
+        "Reading the table: the IF channels lose SFDR exactly as paper "
+        "Fig. 6 predicts — the un-bootstrapped input switches dominate "
+        "above ~40 MHz, and above 100 MHz aperture jitter starts eating "
+        "SNR as well.  A receiver needing >60 dB SNDR should place its "
+        "IF below ~40 MHz with this converter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""SoC IP-block scenario: one ADC macro, many applications.
+
+The paper's pitch is that the SC bias current generator makes the same
+IP block fit applications from 20 to 140 MS/s with power that scales
+automatically (eq. (1)) and no per-application redesign.  This example
+plays the SoC integrator: instantiate the *same* macro at four system
+clock rates, measure power and SNDR at each, and compare against the
+conventional fixed-bias alternative that must be margined for the
+fastest application.
+
+Run:  python examples/power_scaling_ip_block.py
+"""
+
+from repro import AdcConfig
+from repro.evaluation.reporting import format_table
+from repro.evaluation.testbench import DynamicTestbench, PowerTestbench
+
+#: The applications one IP block should serve (paper section 1 names
+#: imaging, ultrasound and communication systems).
+APPLICATIONS = (
+    ("ultrasound front-end", 20e6),
+    ("imaging sensor readout", 65e6),
+    ("communication IF sampler", 110e6),
+    ("top-bin video digitizer", 140e6),
+)
+
+
+def characterize(config, label):
+    rows = []
+    power_bench = PowerTestbench(config)
+    dynamic_bench = DynamicTestbench(config, n_samples=8192, die_seed=1)
+    for application, rate in APPLICATIONS:
+        power = power_bench.measure(rate).total
+        metrics = dynamic_bench.measure(rate, min(10e6, 0.23 * rate))
+        rows.append(
+            (
+                application,
+                f"{rate / 1e6:.0f}",
+                f"{power * 1e3:.1f}",
+                f"{metrics.sndr_db:.1f}",
+                f"{metrics.enob_bits:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ("application", "f_CR [MS/s]", "power [mW]", "SNDR [dB]", "ENOB"),
+            rows,
+            title=f"--- {label} ---",
+        )
+    )
+    print()
+    return rows
+
+
+def main() -> None:
+    sc_rows = characterize(
+        AdcConfig.paper_default(), "paper macro (SC bias, eq. (1))"
+    )
+    fixed_rows = characterize(
+        AdcConfig.paper_default().with_fixed_bias(design_rate=140e6),
+        "conventional macro (fixed worst-case bias)",
+    )
+
+    sc_ultrasound = float(sc_rows[0][2])
+    fixed_ultrasound = float(fixed_rows[0][2])
+    saving = 100 * (1 - sc_ultrasound / fixed_ultrasound)
+    print(
+        f"In the 20 MS/s ultrasound socket the SC-biased macro draws "
+        f"{sc_ultrasound:.1f} mW against {fixed_ultrasound:.1f} mW for the "
+        f"fixed-bias design — a {saving:.0f}% saving for free, with equal "
+        "SNDR.  That is the paper's IP-block argument in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — behavioral reproduction of the Andersen et al. pipeline ADC.
+
+Reproduces "A 97mW 110MS/s 12b Pipeline ADC Implemented in 0.18um
+Digital CMOS" (Nordic Semiconductor, DATE 2004) as a physics-based
+behavioral model: the full converter (ten 1.5-bit stages, 2-bit flash,
+digital correction), its analog infrastructure (SC bias current
+generator, bandgap, references, clocking), the measurement bench
+(spectral and code-density analysis), and the paper's complete
+evaluation (Figs. 4-6, 8, Table I) as runnable experiments.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AdcConfig, PipelineAdc, SineGenerator, SpectrumAnalyzer
+
+    adc = PipelineAdc(AdcConfig.paper_default(), conversion_rate=110e6)
+    tone = SineGenerator.coherent(10e6, 110e6, n_samples=8192)
+    result = adc.convert(tone, n_samples=8192)
+    print(SpectrumAnalyzer().analyze(result.codes, 110e6).summary())
+"""
+
+from repro.core.adc import ConversionResult, PipelineAdc
+from repro.core.behavioral import IdealAdc, ideal_transfer_codes
+from repro.core.config import AdcConfig, ScalingPlan, StageConfig, SwitchStyle
+from repro.core.floorplan import Floorplan
+from repro.core.power import PowerBreakdown, PowerModel
+from repro.errors import (
+    AnalysisError,
+    CalibrationError,
+    ConfigurationError,
+    ModelDomainError,
+    ReproError,
+)
+from repro.signal.generators import (
+    DcGenerator,
+    MultitoneGenerator,
+    RampGenerator,
+    SineGenerator,
+)
+from repro.signal.linearity import LinearityResult, ramp_linearity, sine_linearity
+from repro.signal.metrics import SpectrumMetrics
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.technology.corners import Corner, OperatingPoint
+from repro.technology.process import Technology
+from repro.version import __version__
+
+__all__ = [
+    "AdcConfig",
+    "AnalysisError",
+    "CalibrationError",
+    "ConfigurationError",
+    "ConversionResult",
+    "Corner",
+    "DcGenerator",
+    "Floorplan",
+    "IdealAdc",
+    "LinearityResult",
+    "ModelDomainError",
+    "MultitoneGenerator",
+    "OperatingPoint",
+    "PipelineAdc",
+    "PowerBreakdown",
+    "PowerModel",
+    "RampGenerator",
+    "ReproError",
+    "ScalingPlan",
+    "SineGenerator",
+    "SpectrumAnalyzer",
+    "SpectrumMetrics",
+    "StageConfig",
+    "SwitchStyle",
+    "Technology",
+    "__version__",
+    "ideal_transfer_codes",
+    "ramp_linearity",
+    "sine_linearity",
+]

@@ -1,0 +1,38 @@
+"""On-chip analog infrastructure around the pipeline chain.
+
+Paper Fig. 1 and Fig. 7 show the support circuitry this subpackage
+models: the bandgap voltage generator, the reference voltage buffer, the
+common-mode voltage generator, the switched-capacitor bias current
+generator (the paper's eq. (1) contribution), and the clock path.  The
+front-end sampling network — where the un-bootstrapped input switches
+create the high-frequency distortion of Fig. 6 — lives here too.
+"""
+
+from repro.analog.bandgap import BandgapReference
+from repro.analog.bias import (
+    BiasReport,
+    FixedBiasGenerator,
+    ScBiasCurrentGenerator,
+)
+from repro.analog.clocking import (
+    ClockGenerator,
+    ClockingScheme,
+    PhaseTiming,
+)
+from repro.analog.common_mode import CommonModeGenerator
+from repro.analog.references import ReferenceBuffer
+from repro.analog.sampling import SamplingNetwork, TrackingModel
+
+__all__ = [
+    "BandgapReference",
+    "BiasReport",
+    "ClockGenerator",
+    "ClockingScheme",
+    "CommonModeGenerator",
+    "FixedBiasGenerator",
+    "PhaseTiming",
+    "ReferenceBuffer",
+    "SamplingNetwork",
+    "ScBiasCurrentGenerator",
+    "TrackingModel",
+]

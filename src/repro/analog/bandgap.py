@@ -1,0 +1,72 @@
+"""Bandgap voltage reference.
+
+The paper derives both the ADC reference voltages and the bias voltage
+V_BIAS of the SC current generator from an on-chip bandgap ("V_BIAS is
+taken from the band-gap voltage circuit and is near independent of
+variations in process parameters, temperature and supply voltage").
+
+The behavioral model captures exactly those three sensitivities:
+second-order temperature curvature around a trim point, a small line
+sensitivity, and a corner-dependent untrimmed offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.technology.corners import Corner, OperatingPoint
+
+
+@dataclass(frozen=True)
+class BandgapReference:
+    """Curvature-compensated bandgap voltage generator.
+
+    Attributes:
+        nominal_voltage: trimmed output at 27 C, nominal supply [V].
+        curvature: parabolic temperature coefficient [V/K^2].
+        trim_temperature_c: temperature of the curvature apex [C].
+        line_sensitivity: dVout/dVdd [V/V].
+        corner_offset_sigma: 1-sigma untrimmed corner offset [V]; applied
+            deterministically per corner (FF high, SS low) so corner
+            sweeps are reproducible.
+        quiescent_current: supply current of the bandgap core [A].
+    """
+
+    nominal_voltage: float = 1.20
+    curvature: float = -2.0e-6
+    trim_temperature_c: float = 45.0
+    line_sensitivity: float = 2.0e-3
+    corner_offset_sigma: float = 4.0e-3
+    quiescent_current: float = 0.65e-3
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= 0:
+            raise ConfigurationError("bandgap voltage must be positive")
+        if self.quiescent_current < 0:
+            raise ConfigurationError("quiescent current must be >= 0")
+
+    _CORNER_SIGN = {
+        Corner.TT: 0.0,
+        Corner.FF: +1.0,
+        Corner.SS: -1.0,
+        Corner.FS: +0.5,
+        Corner.SF: -0.5,
+    }
+
+    def voltage(self, operating_point: OperatingPoint) -> float:
+        """Bandgap output voltage at an operating point [V]."""
+        delta_t = operating_point.temperature_c - self.trim_temperature_c
+        temperature_term = self.curvature * delta_t**2
+        nominal_supply = operating_point.technology.supply_voltage
+        line_term = self.line_sensitivity * (
+            operating_point.supply_voltage - nominal_supply
+        )
+        corner_term = (
+            self._CORNER_SIGN[operating_point.corner] * self.corner_offset_sigma
+        )
+        return self.nominal_voltage + temperature_term + line_term + corner_term
+
+    def power(self, operating_point: OperatingPoint) -> float:
+        """Static power of the bandgap core [W]."""
+        return self.quiescent_current * operating_point.supply_voltage

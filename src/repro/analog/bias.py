@@ -1,0 +1,271 @@
+"""Bias current generation — the paper's eq. (1) contribution.
+
+The switched-capacitor bias current generator (paper Fig. 3) connects an
+OTA in unity gain around a node loaded by a switched capacitor C_B
+clocked at the conversion rate.  The SC network looks like a resistor
+R_eq = 1/(C_B * f_CR), so the current through the OTA output device is
+
+    I_BIAS = C_B * f_CR * V_BIAS                      (paper eq. (1))
+
+mirrored with per-stage ratios m_i to the ten pipeline stages.  Two
+properties follow, and both are evaluated in the paper:
+
+- **Power scales linearly with conversion rate** (paper Fig. 4), with
+  full converter performance from 20 to 140 MS/s.
+- **Absolute capacitor spread cancels**: opamp settling time constants
+  are ~ C_load / gm with gm set by a current proportional to the same
+  kind of capacitor, so a fast/slow cap die biases itself harder/softer
+  automatically (our `abl-capspread` ablation quantifies this).
+
+The model adds the real-world ceiling: the OTA output device and the
+mirrors need saturation headroom, so the master current soft-clips at
+high conversion rates.  That ceiling — bias no longer tracking f_CR
+while the settling window keeps shrinking — is what ends the flat SNDR
+plateau just above the nominal rate in paper Fig. 5.
+
+A conventional :class:`FixedBiasGenerator` (worst-case constant current)
+is included as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelDomainError
+from repro.technology.corners import OperatingPoint
+
+
+@dataclass(frozen=True)
+class BiasReport:
+    """Bias generator evaluation at one conversion rate.
+
+    Attributes:
+        conversion_rate: f_CR the report was evaluated at [Hz].
+        master_current: current through the OTA output device [A].
+        stage_currents: per-stage mirrored tail currents [A].
+        saturated: True when the master current is within 5% of its
+            headroom ceiling (eq. (1) no longer tracking f_CR).
+        supply_current: generator housekeeping + master current [A].
+    """
+
+    conversion_rate: float
+    master_current: float
+    stage_currents: np.ndarray
+    saturated: bool
+    supply_current: float
+
+
+@dataclass(frozen=True)
+class ScBiasCurrentGenerator:
+    """The paper's switched-capacitor bias current generator.
+
+    Attributes:
+        bias_capacitance: C_B, the switched capacitor [F] (drawn value;
+            the operating point's cap scale is applied on evaluation).
+        bias_voltage: V_BIAS from the bandgap divider [V].
+        mirror_ratios: per-stage current mirror ratios m_1..m_10.
+        max_master_current: headroom ceiling of the OTA output device and
+            mirrors [A]; eq. (1) soft-clips against this.
+        softness: sharpness of the soft clip (higher = sharper corner).
+        ripple_fraction: rms SC switching ripple on the delivered
+            currents, as a fraction of the DC value.
+        mirror_mismatch_sigma: 1-sigma ratio error of each stage mirror.
+        housekeeping_current: OTA + switch driver overhead [A].
+    """
+
+    bias_capacitance: float = 1.5e-12
+    bias_voltage: float = 0.8
+    mirror_ratios: tuple[float, ...] = tuple([20.0] * 10)
+    max_master_current: float = 240e-6
+    softness: float = 6.0
+    ripple_fraction: float = 0.004
+    mirror_mismatch_sigma: float = 0.01
+    housekeeping_current: float = 0.35e-3
+
+    def __post_init__(self) -> None:
+        if self.bias_capacitance <= 0 or self.bias_voltage <= 0:
+            raise ConfigurationError("C_B and V_BIAS must be positive")
+        if not self.mirror_ratios or any(m <= 0 for m in self.mirror_ratios):
+            raise ConfigurationError("mirror ratios must be positive")
+        if self.max_master_current <= 0:
+            raise ConfigurationError("headroom ceiling must be positive")
+        if self.softness <= 0:
+            raise ConfigurationError("softness must be positive")
+        if not 0 <= self.ripple_fraction < 0.2:
+            raise ConfigurationError("ripple fraction must be in [0, 0.2)")
+        if self.mirror_mismatch_sigma < 0 or self.housekeeping_current < 0:
+            raise ConfigurationError(
+                "mismatch sigma and housekeeping current must be >= 0"
+            )
+
+    def ideal_master_current(
+        self, conversion_rate: float, operating_point: OperatingPoint
+    ) -> float:
+        """Eq. (1) without the headroom ceiling [A]."""
+        if conversion_rate <= 0:
+            raise ModelDomainError("conversion rate must be positive")
+        capacitance = self.bias_capacitance * operating_point.capacitance_scale()
+        return capacitance * conversion_rate * self.bias_voltage
+
+    def master_current(
+        self, conversion_rate: float, operating_point: OperatingPoint
+    ) -> float:
+        """Delivered master current including the headroom soft clip [A].
+
+        Soft-minimum ``I = I_ideal / (1 + (I_ideal/I_max)^p)^(1/p)``:
+        indistinguishable from eq. (1) far below the ceiling, asymptoting
+        to I_max above it.
+        """
+        ideal = self.ideal_master_current(conversion_rate, operating_point)
+        ratio = ideal / self.max_master_current
+        return ideal / (1.0 + ratio**self.softness) ** (1.0 / self.softness)
+
+    def equivalent_resistance(
+        self, conversion_rate: float, operating_point: OperatingPoint
+    ) -> float:
+        """R_eq = 1/(C_B * f_CR) of the SC network [ohm]."""
+        capacitance = self.bias_capacitance * operating_point.capacitance_scale()
+        return 1.0 / (capacitance * conversion_rate)
+
+    def evaluate(
+        self,
+        conversion_rate: float,
+        operating_point: OperatingPoint,
+        rng: np.random.Generator | None = None,
+    ) -> BiasReport:
+        """Produce the per-stage currents at a conversion rate.
+
+        Args:
+            conversion_rate: f_CR [Hz].
+            operating_point: PVT context (capacitor scale applies here —
+                this is the self-compensation mechanism).
+            rng: optional generator; when given, frozen mirror mismatch
+                is drawn once per call (callers that need a fixed die
+                draw the mismatch themselves and reuse it).
+        """
+        master = self.master_current(conversion_rate, operating_point)
+        ratios = np.asarray(self.mirror_ratios, dtype=float)
+        if rng is not None and self.mirror_mismatch_sigma > 0:
+            ratios = ratios * (
+                1.0 + rng.normal(0.0, self.mirror_mismatch_sigma, size=ratios.shape)
+            )
+        currents = master * ratios
+        ideal = self.ideal_master_current(conversion_rate, operating_point)
+        saturated = master < 0.95 * ideal
+        supply = self.housekeeping_current + master
+        return BiasReport(
+            conversion_rate=conversion_rate,
+            master_current=master,
+            stage_currents=currents,
+            saturated=saturated,
+            supply_current=supply,
+        )
+
+    def saturation_onset_rate(self, operating_point: OperatingPoint) -> float:
+        """f_CR at which the master current reaches 95% of eq. (1) [Hz]."""
+        capacitance = self.bias_capacitance * operating_point.capacitance_scale()
+        # Solve I_ideal/(1+r^p)^(1/p) = 0.95*I_ideal for r = I_ideal/Imax.
+        p = self.softness
+        r = (0.95**-p - 1.0) ** (1.0 / p)
+        ideal_at_onset = r * self.max_master_current
+        return ideal_at_onset / (capacitance * self.bias_voltage)
+
+    def current_noise(
+        self,
+        stage_currents: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-sample multiplicative ripple on the stage currents.
+
+        Returns an array of shape (count, n_stages) of current scale
+        factors around 1.0.
+        """
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        stages = np.asarray(stage_currents).shape[0]
+        if self.ripple_fraction == 0:
+            return np.ones((count, stages))
+        return 1.0 + rng.normal(0.0, self.ripple_fraction, size=(count, stages))
+
+
+@dataclass(frozen=True)
+class FixedBiasGenerator:
+    """Conventional constant-current bias — the ablation baseline.
+
+    Sized once for the worst case: the maximum intended conversion rate
+    *and* the slow extreme of the absolute capacitor spread, exactly the
+    margin stack-up the paper's SC generator avoids.
+
+    Attributes:
+        design_rate: conversion rate the currents are sized for [Hz].
+        design_margin: extra current factor for the capacitor spread
+            worst case (a +20% slow-C die needs +20% current to hit the
+            same time constants).
+        template: SC generator whose eq.-(1) currents at the design point
+            define the fixed currents.
+    """
+
+    design_rate: float = 140e6
+    design_margin: float = 1.25
+    template: ScBiasCurrentGenerator = field(
+        default_factory=ScBiasCurrentGenerator
+    )
+
+    def __post_init__(self) -> None:
+        if self.design_rate <= 0 or self.design_margin < 1.0:
+            raise ConfigurationError(
+                "design rate must be positive and margin >= 1"
+            )
+
+    def evaluate(
+        self,
+        conversion_rate: float,
+        operating_point: OperatingPoint,
+        rng: np.random.Generator | None = None,
+    ) -> BiasReport:
+        """Constant currents regardless of the requested rate.
+
+        The fixed generator ignores the die's actual capacitance (that is
+        its flaw): currents are computed at the *nominal* capacitor value
+        and the design rate, then held.
+        """
+        if conversion_rate <= 0:
+            raise ModelDomainError("conversion rate must be positive")
+        # Deliberately ignores operating_point.cap_scale: a fixed bias
+        # cannot see the die's actual capacitance — that is its flaw.
+        master = (
+            self.template.bias_capacitance
+            * self.design_rate
+            * self.template.bias_voltage
+            * self.design_margin
+        )
+        ratios = np.asarray(self.template.mirror_ratios, dtype=float)
+        if rng is not None and self.template.mirror_mismatch_sigma > 0:
+            ratios = ratios * (
+                1.0
+                + rng.normal(
+                    0.0, self.template.mirror_mismatch_sigma, size=ratios.shape
+                )
+            )
+        currents = master * ratios
+        return BiasReport(
+            conversion_rate=conversion_rate,
+            master_current=master,
+            stage_currents=currents,
+            saturated=False,
+            supply_current=self.template.housekeeping_current + master,
+        )
+
+    def current_noise(
+        self,
+        stage_currents: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Fixed bias has no SC ripple; returns unity scale factors."""
+        stages = np.asarray(stage_currents).shape[0]
+        return np.ones((count, stages))

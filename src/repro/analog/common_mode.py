@@ -1,0 +1,50 @@
+"""Common-mode voltage generator.
+
+The CM generator (paper Fig. 1 / Fig. 7) supplies V_CM — nominally mid-
+supply — to the sampling switches (S1B sits at V_CM) and to the DSB when
+a stage resolves the middle code.  A CM error shifts the single-ended
+operating point of every switch, which slightly reskews the Ron(V)
+curves; the sampling network consumes this value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.technology.corners import OperatingPoint
+
+
+@dataclass(frozen=True)
+class CommonModeGenerator:
+    """Mid-supply CM voltage source with a small static error.
+
+    Attributes:
+        fraction_of_supply: nominal V_CM as a fraction of VDD.
+        static_error: additive error on the delivered CM [V].
+        quiescent_current: static bias of the generator [A].
+    """
+
+    fraction_of_supply: float = 0.5
+    static_error: float = 3.0e-3
+    quiescent_current: float = 1.1e-3
+
+    def __post_init__(self) -> None:
+        if not 0.2 <= self.fraction_of_supply <= 0.8:
+            raise ConfigurationError(
+                "common mode must sit in the middle of the supply "
+                f"(0.2..0.8*VDD), got fraction {self.fraction_of_supply}"
+            )
+        if self.quiescent_current < 0:
+            raise ConfigurationError("quiescent current must be >= 0")
+
+    def voltage(self, operating_point: OperatingPoint) -> float:
+        """Delivered common-mode voltage [V]."""
+        return (
+            self.fraction_of_supply * operating_point.supply_voltage
+            + self.static_error
+        )
+
+    def power(self, operating_point: OperatingPoint) -> float:
+        """Static power of the CM generator [W]."""
+        return self.quiescent_current * operating_point.supply_voltage

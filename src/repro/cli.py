@@ -1,0 +1,77 @@
+"""Command-line entry point: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig4 fig5 --quick
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.version import PAPER, __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-adc",
+        description=(
+            f"Reproduction experiments for: {PAPER} (repro {__version__})"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            "experiment ids to run, 'all' for every experiment, or "
+            "'list' to enumerate them"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer samples / sweep points (smoke-test speed)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    requested = list(args.experiments)
+
+    if "list" in requested:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+    if "all" in requested:
+        requested = available_experiments()
+
+    known = set(available_experiments())
+    unknown = [e for e in requested if e not in known]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    all_passed = True
+    for experiment_id in requested:
+        result = run_experiment(experiment_id, quick=args.quick)
+        print(result.render())
+        print()
+        all_passed = all_passed and result.all_passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Ideal quantizer oracles and fast behavioral baselines.
+
+Two jobs:
+
+- :func:`ideal_transfer_codes` / :class:`IdealAdc` give the exact ideal
+  mid-rise transfer the impairment-free pipeline must reproduce — the
+  oracle for the property tests.
+- :class:`IdealAdc` doubles as the zero-impairment baseline the
+  benchmarks quote alongside the paper model (quantization-only SNDR is
+  the 74 dB ceiling a 12-bit converter can never beat at full scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def ideal_transfer_codes(
+    voltages: np.ndarray, vref: float, resolution: int
+) -> np.ndarray:
+    """Ideal mid-rise quantizer: the oracle transfer.
+
+    Code k covers the input interval [k*LSB - vref, (k+1)*LSB - vref)
+    with LSB = 2*vref/2^R; inputs beyond the rails clip to the end codes.
+
+    Args:
+        voltages: differential inputs [V].
+        vref: full-scale amplitude [V].
+        resolution: word width [bits].
+
+    Returns:
+        Integer codes in [0, 2^R - 1].
+    """
+    if vref <= 0:
+        raise ConfigurationError("vref must be positive")
+    if resolution < 1:
+        raise ConfigurationError("resolution must be >= 1 bit")
+    n_codes = 1 << resolution
+    v = np.asarray(voltages, dtype=float)
+    codes = np.floor((v / vref + 1.0) * (n_codes / 2)).astype(int)
+    return np.clip(codes, 0, n_codes - 1)
+
+
+@dataclass(frozen=True)
+class IdealAdc:
+    """An ideal R-bit quantizer with the library's signal conventions.
+
+    Attributes:
+        resolution: word width [bits].
+        vref: full-scale differential amplitude [V].
+    """
+
+    resolution: int = 12
+    vref: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resolution < 1:
+            raise ConfigurationError("resolution must be >= 1 bit")
+        if self.vref <= 0:
+            raise ConfigurationError("vref must be positive")
+
+    @property
+    def n_codes(self) -> int:
+        return 1 << self.resolution
+
+    @property
+    def lsb(self) -> float:
+        """Input-referred LSB size [V]."""
+        return 2.0 * self.vref / self.n_codes
+
+    def convert_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        """Quantize held voltages to codes."""
+        return ideal_transfer_codes(voltages, self.vref, self.resolution)
+
+    def convert(self, signal, times: np.ndarray) -> np.ndarray:
+        """Sample a :class:`~repro.core.adc.DifferentialSignal` ideally."""
+        return self.convert_voltages(np.asarray(signal.value(times)))
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to bin-center voltages [V]."""
+        return (np.asarray(codes, dtype=float) + 0.5) * self.lsb - self.vref
+
+    def quantization_noise_rms(self) -> float:
+        """Theoretical quantization noise LSB/sqrt(12) [V]."""
+        return self.lsb / np.sqrt(12.0)

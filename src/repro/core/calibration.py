@@ -1,0 +1,139 @@
+"""Foreground gain/weight calibration (extension beyond the paper).
+
+The published part ships *uncalibrated* — its INL is set by raw metal-
+capacitor matching and opamp gain.  A natural extension (standard in
+later-generation pipeline converters) is foreground calibration: apply a
+known stimulus, estimate each stage's *actual* reconstruction weight,
+and replace the nominal power-of-two weights in the digital output.
+
+:class:`GainCalibration` implements the classic least-squares variant:
+
+1. Capture a slow over-ranged ramp (the same stimulus a code-density
+   linearity test uses), keeping the raw per-stage decisions.
+2. Solve, in the least-squares sense, for the stage weights w_i, the
+   flash weight and an offset such that
+   ``sum_i w_i * d_i + w_f * flash + offset`` best reproduces the known
+   input expressed in codes.  Capacitor mismatch and interstage gain
+   error are exactly weight errors in this model, so the fit absorbs
+   them; clipped samples are excluded.
+3. Reconstruct subsequent conversions with the fitted weights.
+
+On the behavioral model this recovers most of the mismatch-induced INL
+(verified in tests/test_calibration.py).  It is marked clearly as an
+extension in DESIGN.md/EXPERIMENTS.md and is excluded from the paper-
+reproduction numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adc import PipelineAdc
+from repro.errors import CalibrationError, ConfigurationError
+
+
+@dataclass
+class GainCalibration:
+    """Foreground least-squares weight calibration.
+
+    Args:
+        adc: the die to calibrate (weights are die-specific).
+        samples_per_code: ramp hits per output code for the calibration
+            capture; more samples average the thermal noise further
+            below the mismatch being estimated.
+        overdrive: fractional overrange of the calibration ramp.
+    """
+
+    adc: PipelineAdc
+    samples_per_code: int = 24
+    overdrive: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.samples_per_code < 4:
+            raise ConfigurationError("need >= 4 samples per code")
+        if not 0 < self.overdrive < 0.2:
+            raise ConfigurationError("overdrive must be in (0, 0.2)")
+        self._weights: np.ndarray | None = None
+
+    # --- measurement ------------------------------------------------------
+
+    def nominal_weights(self) -> np.ndarray:
+        """The uncalibrated weight vector: stage weights, flash, offset."""
+        config = self.adc.config
+        stage = 2.0 ** np.arange(
+            config.resolution - 2, config.flash_bits - 2, -1, dtype=float
+        )
+        base = float(
+            (1 << (config.resolution - 1)) - (1 << (config.flash_bits - 1))
+        )
+        return np.concatenate([stage, [1.0, base]])
+
+    def calibrate(self, noise_seed: int = 987) -> np.ndarray:
+        """Run the calibration capture and fit the weights.
+
+        Returns:
+            The fitted weight vector ``[w_1..w_n, w_flash, offset]``.
+        """
+        config = self.adc.config
+        total = config.n_codes * self.samples_per_code
+        span = config.vref * (1.0 + self.overdrive)
+        ramp = np.linspace(-span, span, total)
+        result = self.adc.convert_samples(ramp, noise_seed=noise_seed)
+
+        # The input expressed in (fractional) output codes.
+        target = (ramp / config.vref + 1.0) * (config.n_codes / 2) - 0.5
+        # Exclude clipped samples: their decisions saturate and would
+        # bias the fit.
+        margin = 4
+        keep = (target > margin) & (target < config.n_codes - 1 - margin)
+        design = np.column_stack(
+            [
+                result.stage_codes.astype(float),
+                result.flash_codes.astype(float),
+                np.ones(total),
+            ]
+        )[keep]
+        solution, residuals, rank, _ = np.linalg.lstsq(
+            design, target[keep], rcond=None
+        )
+        if rank < design.shape[1]:
+            raise CalibrationError(
+                "calibration capture is rank-deficient — the ramp did not "
+                "exercise every stage decision"
+            )
+        self._weights = solution
+        return solution
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self._weights is None:
+            raise CalibrationError("call calibrate() first")
+        return self._weights
+
+    def weight_errors(self) -> np.ndarray:
+        """Fitted minus nominal weights (diagnostics)."""
+        return self.weights - self.nominal_weights()
+
+    # --- application --------------------------------------------------------
+
+    def reconstruct(
+        self, stage_codes: np.ndarray, flash_codes: np.ndarray
+    ) -> np.ndarray:
+        """Rebuild output words with the calibrated weights.
+
+        Same algebra as :meth:`DigitalCorrection.combine` but with the
+        fitted, generally non-integer weights; rounded to integer codes.
+        """
+        weights = self.weights
+        config = self.adc.config
+        design = np.column_stack(
+            [
+                np.asarray(stage_codes, dtype=float),
+                np.asarray(flash_codes, dtype=float),
+                np.ones(np.asarray(flash_codes).shape[0]),
+            ]
+        )
+        raw = design @ weights
+        return np.clip(np.round(raw), 0, config.n_codes - 1).astype(int)

@@ -1,0 +1,136 @@
+"""Area model — the block budget behind paper Fig. 7 and the 0.86 mm2.
+
+The die photograph labels six regions: the pipeline chain, the CM
+voltage generator, the delay-and-correction logic, the bandgap, the SC
+bias generator and the reference voltage buffer.  The model books area
+bottom-up:
+
+- capacitor area from the drawn metal-cap density (the scaling plan
+  shrinks stages 2..10, which is most of the claimed area saving),
+- opamp + switch area proportional to device widths,
+- fixed footprints for the support blocks,
+- a routing/utilization overhead factor — the paper credits power-grid
+  strapping in all metal layers and routing above active area for the
+  compact result.
+
+The absolute number is calibrated to Table I's 0.86 mm2 at the paper
+configuration; *relative* area (scaled vs unscaled plan, `abl-scaling`)
+is what the ablations consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BlockArea:
+    """One labeled region of the die.
+
+    Attributes:
+        name: block label (matching the Fig. 7 annotations).
+        area: silicon area [m^2].
+    """
+
+    name: str
+    area: float
+
+    def __post_init__(self) -> None:
+        if self.area < 0:
+            raise ConfigurationError("block area must be >= 0")
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Block-level area budget of the converter.
+
+    Attributes:
+        config: converter configuration.
+        capacitor_overhead: drawn-to-effective cap area ratio (shields,
+            spacing).
+        analog_density_per_width: opamp/switch active area per meter of
+            device width [m^2/m]; lumps the differential pair, mirrors,
+            output stage and local wiring.
+        comparator_footprint: area of one dynamic comparator + DSB slice
+            [m^2].
+        correction_logic_area: delay + correction digital block [m^2].
+        bandgap_area / bias_generator_area / cm_generator_area /
+        reference_buffer_area: support block footprints [m^2].
+        utilization: active-to-total utilization factor (<1 adds routing
+            overhead).
+    """
+
+    config: AdcConfig
+    capacitor_overhead: float = 1.35
+    analog_density_per_width: float = 7.4e-4
+    comparator_footprint: float = 900e-12
+    correction_logic_area: float = 0.055e-6
+    bandgap_area: float = 0.030e-6
+    bias_generator_area: float = 0.032e-6
+    cm_generator_area: float = 0.028e-6
+    reference_buffer_area: float = 0.090e-6
+    utilization: float = 0.62
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization <= 1:
+            raise ConfigurationError("utilization must be in (0, 1]")
+        if self.capacitor_overhead < 1:
+            raise ConfigurationError("capacitor overhead must be >= 1")
+
+    def _stage_area(self, unit_capacitance: float, pair_width: float) -> float:
+        """Active area of one pipeline stage [m^2]."""
+        config = self.config
+        density = config.technology.metal_cap_density
+        # Four unit caps per stage (C1, C2 on both sides) plus the Miller
+        # caps (~one unit equivalent per side).
+        cap_area = (
+            self.capacitor_overhead * 6.0 * unit_capacitance / density
+        )
+        opamp_area = self.analog_density_per_width * pair_width * (
+            1.0
+            + self.config.output_stage_current_ratio
+        )
+        comparators = 2 * self.comparator_footprint
+        return cap_area + opamp_area + comparators
+
+    def blocks(self) -> list[BlockArea]:
+        """Per-block areas, pipeline chain first (as in Fig. 7)."""
+        config = self.config
+        chain = 0.0
+        for stage in config.stage_configs():
+            chain += self._stage_area(
+                stage.unit_capacitance, stage.input_pair_width
+            )
+        flash = ((1 << config.flash_bits) - 1) * self.comparator_footprint
+        chain += flash
+        chain /= self.utilization
+        return [
+            BlockArea("pipeline chain", chain),
+            BlockArea("reference voltage buffer", self.reference_buffer_area),
+            BlockArea("delay and correction logic", self.correction_logic_area),
+            BlockArea("CM-voltage generator", self.cm_generator_area),
+            BlockArea("SC-bias current generator", self.bias_generator_area),
+            BlockArea("bandgap voltage generator", self.bandgap_area),
+        ]
+
+    @property
+    def total_area(self) -> float:
+        """Total converter area [m^2]."""
+        return sum(block.area for block in self.blocks())
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total converter area [mm^2] (Table I quotes 0.86 mm2)."""
+        return self.total_area * 1e6
+
+    def render(self) -> str:
+        """ASCII area budget table (the textual Fig. 7)."""
+        lines = ["Block area budget", "-" * 46]
+        for block in self.blocks():
+            lines.append(f"{block.name:<34}{block.area * 1e6:>9.3f} mm^2")
+        lines.append("-" * 46)
+        lines.append(f"{'total':<34}{self.total_area_mm2:>9.3f} mm^2")
+        return "\n".join(lines)

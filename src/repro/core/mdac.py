@@ -1,0 +1,185 @@
+"""Multiplying DAC — the residue amplifier of one pipeline stage.
+
+Paper Fig. 2: during phi1 the input is sampled onto the parallel metal
+capacitors C1 and C2; during phi2 the opamp closes the loop with C2 in
+feedback while the Decoder-and-Switching-Block (DSB) connects the top
+plate of C1 to V_REFP, V_REFN or V_CM according to the ADSC decision.
+The ideal residue is
+
+    v_res = (1 + C1/C2) * v_in - (C1/C2) * d * v_ref,   d in {-1, 0, +1}
+
+i.e. gain 2 minus a shifted reference for matched capacitors.  The model
+layers the real-life errors on top:
+
+- capacitor ratio error C1/C2 = 1 + delta (the DNL/INL source),
+- finite opamp DC gain (static gain error 1/(1 + A0*beta)),
+- incomplete settling in the phi2 window, including slewing
+  (the Fig. 5 high-rate knee),
+- opamp output compression and sampled noise,
+- per-sample delivered reference (buffer sag + noise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.opamp import TwoStageMillerOpamp
+from repro.errors import ConfigurationError
+from repro.technology.corners import OperatingPoint
+from repro.units import BOLTZMANN
+
+
+@dataclass(frozen=True)
+class Mdac:
+    """Residue amplifier of one stage.
+
+    Attributes:
+        unit_capacitance: per-side C2 (= nominal C1) [F].
+        ratio_error: delta = C1/C2 - 1 (frozen mismatch draw).
+        opamp: the stage's residue amplifier at its current bias point.
+        load_capacitance: per-side load during amplification [F].
+        summing_parasitic: fixed parasitic at the summing node [F].
+        settle_time: phi2 window available for settling [s].
+        include_settling: model incomplete settling (else ideal close).
+        include_noise: add opamp sampled noise.
+        include_sampling_noise: add this stage's own kT/C acquisition
+            noise (off for stage 1, whose front-end network owns it).
+    """
+
+    unit_capacitance: float
+    ratio_error: float
+    opamp: TwoStageMillerOpamp
+    load_capacitance: float
+    summing_parasitic: float
+    settle_time: float
+    include_settling: bool = True
+    include_noise: bool = True
+    include_sampling_noise: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unit_capacitance <= 0:
+            raise ConfigurationError("unit capacitance must be positive")
+        if abs(self.ratio_error) >= 0.5:
+            raise ConfigurationError(
+                "capacitor ratio error beyond 50% is outside the model"
+            )
+        if self.load_capacitance <= 0 or self.summing_parasitic < 0:
+            raise ConfigurationError("load/parasitic capacitances invalid")
+        if self.settle_time <= 0:
+            raise ConfigurationError("settle time must be positive")
+
+    # --- small-signal quantities ----------------------------------------
+
+    @property
+    def capacitor_ratio(self) -> float:
+        """C1/C2 including the mismatch draw."""
+        return 1.0 + self.ratio_error
+
+    @property
+    def feedback_factor(self) -> float:
+        """Closed-loop beta = C2 / (C1 + C2 + C_parasitic + C_in)."""
+        c2 = self.unit_capacitance
+        c1 = c2 * self.capacitor_ratio
+        c_sum = (
+            c1 + c2 + self.summing_parasitic
+            + self.opamp.parameters.input_capacitance
+        )
+        return c2 / c_sum
+
+    @property
+    def ideal_gain(self) -> float:
+        """Interstage gain 1 + C1/C2 (=2 for matched caps)."""
+        return 1.0 + self.capacitor_ratio
+
+    def static_gain_error(self) -> float:
+        """Fractional gain error from finite opamp DC gain."""
+        return self.opamp.static_gain_error(self.feedback_factor)
+
+    def sampling_capacitance(self) -> float:
+        """Per-side acquisition capacitance C1 + C2 [F]."""
+        return self.unit_capacitance * (1.0 + self.capacitor_ratio)
+
+    def sampling_noise_rms(self, operating_point: OperatingPoint) -> float:
+        """Differential kT/C noise of this stage's own acquisition [V]."""
+        c_actual = (
+            self.sampling_capacitance() * operating_point.capacitance_scale()
+        )
+        return math.sqrt(
+            2.0 * BOLTZMANN * operating_point.temperature_k / c_actual
+        )
+
+    # --- the residue transfer -------------------------------------------
+
+    def target_residue(
+        self, inputs: np.ndarray, codes: np.ndarray, references: np.ndarray
+    ) -> np.ndarray:
+        """DC residue the loop would settle to with infinite time [V].
+
+        Applies the capacitor ratio and the finite-gain static error;
+        dynamics are layered on by :meth:`amplify`.
+        """
+        v = np.asarray(inputs, dtype=float)
+        d = np.asarray(codes, dtype=float)
+        vref = np.asarray(references, dtype=float)
+        ratio = self.capacitor_ratio
+        raw = (1.0 + ratio) * v - ratio * d * vref
+        return raw * (1.0 - self.static_gain_error())
+
+    def amplify(
+        self,
+        inputs: np.ndarray,
+        codes: np.ndarray,
+        references: np.ndarray,
+        operating_point: OperatingPoint,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Produce the residue actually delivered to the next stage [V].
+
+        Args:
+            inputs: held stage inputs [V] (already include acquisition
+                noise when ``include_sampling_noise`` is False).
+            codes: ADSC decisions in {-1, 0, +1}.
+            references: per-sample delivered reference voltages [V].
+            operating_point: PVT context for noise temperatures.
+            rng: generator for noise draws.
+        """
+        v = np.asarray(inputs, dtype=float)
+        if self.include_sampling_noise:
+            v = v + rng.normal(
+                0.0, self.sampling_noise_rms(operating_point), size=v.shape
+            )
+        target = self.target_residue(v, codes, references)
+        if self.include_settling:
+            # The output node is reset toward CM during phi1 (the feedback
+            # caps are reclaimed for tracking), so every settling event
+            # starts from zero differential.
+            result = self.opamp.settle(
+                target=target,
+                initial=0.0,
+                settle_time=self.settle_time,
+                feedback_factor=self.feedback_factor,
+            )
+            residue = result.output
+        else:
+            residue = target
+        residue = self.opamp.compress(residue)
+        if self.include_noise:
+            noise = self.opamp.sampled_noise_rms(
+                feedback_factor=self.feedback_factor,
+                load_capacitance=self.load_capacitance,
+                temperature_k=operating_point.temperature_k,
+            )
+            residue = residue + rng.normal(0.0, noise, size=residue.shape)
+        return residue
+
+    def settling_error_bound(self) -> float:
+        """Linear settling error exp(-T/tau) at this bias point.
+
+        Diagnostic used by the Fig. 5 analysis: the per-stage fractional
+        gain shortfall due to finite bandwidth (slew-free).
+        """
+        tau = self.opamp.closed_loop_tau(self.feedback_factor)
+        return math.exp(-self.settle_time / tau)

@@ -1,0 +1,184 @@
+"""Power model — the physics behind paper Fig. 4.
+
+The measured power "is linearly scaled versus conversion rate" because
+every opamp bias current obeys eq. (1): I = C_B * f_CR * V_BIAS * m_i.
+The model books power in four bins:
+
+- **Scaled analog**: opamp quiescent currents from the bias generator —
+  the dominant term and the one that tracks f_CR.
+- **Static analog**: bandgap, reference buffer, CM generator — class-A
+  blocks that burn the same current at any rate (the nonzero intercept
+  of the measured line).
+- **Dynamic digital**: ADSC/DSB/local-clock energy per conversion, the
+  correction logic, and the clock receiver — CV^2 f terms.
+- **Housekeeping**: the bias generator itself.
+
+Table I books "Analog Power Consumption 97 mW" at 110 MS/s excluding
+output drivers; the model's total matches that definition (output pad
+drivers are off-budget here too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+from repro.technology.corners import OperatingPoint
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-bin power accounting at one conversion rate [W].
+
+    Attributes:
+        conversion_rate: f_CR the budget was evaluated at [Hz].
+        opamps: pipeline opamp quiescent power (scaled bin).
+        static_analog: bandgap + reference buffer + CM generator.
+        comparators: ADSC + flash + DSB dynamic power.
+        correction_logic: delay/error-correction logic power.
+        clocking: clock receiver and distribution power.
+        bias_generator: SC bias generator housekeeping + master branch.
+    """
+
+    conversion_rate: float
+    opamps: float
+    static_analog: float
+    comparators: float
+    correction_logic: float
+    clocking: float
+    bias_generator: float
+
+    @property
+    def total(self) -> float:
+        """Total converter power [W]."""
+        return (
+            self.opamps
+            + self.static_analog
+            + self.comparators
+            + self.correction_logic
+            + self.clocking
+            + self.bias_generator
+        )
+
+    @property
+    def scaled(self) -> float:
+        """The part of the budget that tracks f_CR [W]."""
+        return (
+            self.opamps + self.comparators + self.correction_logic + self.clocking
+        )
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(name, watts) rows for reports."""
+        return [
+            ("pipeline opamps (SC-bias scaled)", self.opamps),
+            ("static analog (bandgap/ref/CM)", self.static_analog),
+            ("comparators + DSB", self.comparators),
+            ("correction logic", self.correction_logic),
+            ("clock path", self.clocking),
+            ("bias generator", self.bias_generator),
+            ("total", self.total),
+        ]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Evaluates the converter power budget versus conversion rate.
+
+    Attributes:
+        config: converter configuration (the bias generator, scaling plan
+            and static blocks all live there).
+        comparator_energy: energy per comparator decision [J], covering
+            the latch and its DSB/local-clock drivers.
+    """
+
+    config: AdcConfig
+    comparator_energy: float = 0.26e-12
+
+    def __post_init__(self) -> None:
+        if self.comparator_energy < 0:
+            raise ConfigurationError("comparator energy must be >= 0")
+
+    def _comparator_count(self) -> int:
+        per_stage = 2  # 1.5-bit ADSC
+        flash = (1 << self.config.flash_bits) - 1
+        return self.config.n_stages * per_stage + flash
+
+    def evaluate(
+        self,
+        conversion_rate: float,
+        operating_point: OperatingPoint | None = None,
+    ) -> PowerBreakdown:
+        """Book the budget at a conversion rate.
+
+        Args:
+            conversion_rate: f_CR [Hz].
+            operating_point: PVT context; nominal when omitted.
+        """
+        if conversion_rate <= 0:
+            raise ConfigurationError("conversion rate must be positive")
+        config = self.config
+        point = operating_point or OperatingPoint(technology=config.technology)
+        supply = point.supply_voltage
+
+        generator = (
+            config.resolved_fixed_bias()
+            if config.use_fixed_bias
+            else config.resolved_bias()
+        )
+        report = generator.evaluate(conversion_rate, point)
+        quiescent_factor = (
+            1.0
+            + config.output_stage_current_ratio
+            + config.bias_overhead_ratio
+        )
+        opamps = float(report.stage_currents.sum()) * quiescent_factor * supply
+
+        static_analog = (
+            config.bandgap.power(point)
+            + config.reference.power(point)
+            + config.common_mode.power(point)
+        )
+        comparators = (
+            self._comparator_count()
+            * self.comparator_energy
+            * conversion_rate
+        )
+        correction = config.digital.power(supply, conversion_rate)
+        clocking = config.clock.power(conversion_rate, supply)
+        bias_power = report.supply_current * supply
+
+        return PowerBreakdown(
+            conversion_rate=conversion_rate,
+            opamps=opamps,
+            static_analog=static_analog,
+            comparators=comparators,
+            correction_logic=correction,
+            clocking=clocking,
+            bias_generator=bias_power,
+        )
+
+    def sweep(
+        self,
+        conversion_rates,
+        operating_point: OperatingPoint | None = None,
+    ) -> list[PowerBreakdown]:
+        """Budget at each rate — the Fig. 4 series."""
+        return [self.evaluate(float(f), operating_point) for f in conversion_rates]
+
+    def intercept_and_slope(
+        self,
+        low_rate: float = 20e6,
+        high_rate: float = 110e6,
+    ) -> tuple[float, float]:
+        """Two-point linear fit (intercept [W], slope [W/Hz]).
+
+        Mirrors how a reader would extract "static power" and
+        "power per MS/s" from paper Fig. 4.
+        """
+        if not 0 < low_rate < high_rate:
+            raise ConfigurationError("need 0 < low_rate < high_rate")
+        low = self.evaluate(low_rate).total
+        high = self.evaluate(high_rate).total
+        slope = (high - low) / (high_rate - low_rate)
+        return low - slope * low_rate, slope

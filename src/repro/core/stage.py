@@ -1,0 +1,83 @@
+"""One 1.5-bit pipeline stage: ADSC decision + MDAC residue.
+
+Composition of :class:`~repro.core.subadc.SubAdc` and
+:class:`~repro.core.mdac.Mdac` exactly as in paper Fig. 2: the held
+input is resolved by the ADSC while the MDAC reconfigures; the DSB then
+routes V_REFP / V_CM / V_REFN onto C1 according to the decision and the
+opamp settles toward the residue, which the next stage samples at the
+end of the amplification phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mdac import Mdac
+from repro.core.subadc import SubAdc
+from repro.technology.corners import OperatingPoint
+
+
+@dataclass(frozen=True)
+class StageOutput:
+    """What one stage hands on.
+
+    Attributes:
+        codes: ADSC decisions in {-1, 0, +1}, one per sample.
+        residues: amplified residues delivered to the next stage [V].
+    """
+
+    codes: np.ndarray
+    residues: np.ndarray
+
+
+class PipelineStage:
+    """A complete 1.5-bit stage.
+
+    Args:
+        index: position in the chain (0-based; stage 1 of the paper is
+            index 0).
+        subadc: the stage's 1.5-bit sub-converter.
+        mdac: the stage's residue amplifier.
+    """
+
+    def __init__(self, index: int, subadc: SubAdc, mdac: Mdac):
+        self.index = index
+        self.subadc = subadc
+        self.mdac = mdac
+
+    def process(
+        self,
+        inputs: np.ndarray,
+        references: np.ndarray,
+        operating_point: OperatingPoint,
+        rng: np.random.Generator,
+    ) -> StageOutput:
+        """Run the stage over a sample array.
+
+        Args:
+            inputs: held differential stage inputs [V].
+            references: per-sample delivered reference voltages [V].
+            operating_point: PVT context.
+            rng: generator for decision noise / MDAC noise.
+
+        Returns:
+            The decisions and the residues for the next stage.
+        """
+        codes = self.subadc.decide(inputs, rng)
+        residues = self.mdac.amplify(
+            inputs, codes, references, operating_point, rng
+        )
+        return StageOutput(codes=codes, residues=residues)
+
+    def describe(self) -> dict:
+        """Small diagnostic summary used by reports and tests."""
+        return {
+            "index": self.index,
+            "feedback_factor": self.mdac.feedback_factor,
+            "ideal_gain": self.mdac.ideal_gain,
+            "static_gain_error": self.mdac.static_gain_error(),
+            "settling_error_bound": self.mdac.settling_error_bound(),
+            "comparator_offsets": self.subadc.offsets,
+        }

@@ -1,0 +1,42 @@
+"""Device-level behavioral models.
+
+The circuit blocks of the paper are assembled from four device
+abstractions:
+
+- :mod:`~repro.devices.switch` — the four switch styles the paper
+  discusses: plain transmission gate, the paper's bulk-switched
+  transmission gate (S1/S2), NMOS-only (S1B at the common mode), and the
+  bootstrapped switch the authors rejected for lifetime reasons.
+- :mod:`~repro.devices.opamp` — the two-stage Miller opamp (paper ref [3]
+  topology) as a finite-gain, single-pole, slew-limited settling model.
+- :mod:`~repro.devices.opamp_design` — translation from a bias current
+  (supplied by the SC bias generator) to gm / GBW / slew rate.
+- :mod:`~repro.devices.comparator` — the dynamic latch used by the 1.5b
+  sub-ADCs and the 2b flash.
+"""
+
+from repro.devices.comparator import ComparatorParameters, DynamicComparator
+from repro.devices.opamp import OpampParameters, SettlingResult, TwoStageMillerOpamp
+from repro.devices.opamp_design import OpampDesigner, OpampDesignReport
+from repro.devices.switch import (
+    BootstrappedSwitch,
+    BulkSwitchedTransmissionGate,
+    NmosSwitch,
+    SwitchModel,
+    TransmissionGate,
+)
+
+__all__ = [
+    "BootstrappedSwitch",
+    "BulkSwitchedTransmissionGate",
+    "ComparatorParameters",
+    "DynamicComparator",
+    "NmosSwitch",
+    "OpampDesignReport",
+    "OpampDesigner",
+    "OpampParameters",
+    "SettlingResult",
+    "SwitchModel",
+    "TransmissionGate",
+    "TwoStageMillerOpamp",
+]

@@ -1,0 +1,130 @@
+"""Dynamic latch comparator model for the sub-ADCs and the flash.
+
+Pipeline converters with 1.5-bit stages deliberately use sloppy, tiny,
+zero-static-power dynamic comparators: the half-bit redundancy corrects
+any ADSC decision whose threshold error stays within +-Vref/4 (paper
+section 2, "error correction ... corrects for errors in the Analog to
+Digital Sub-Converter").  The model therefore includes generous offset,
+input noise, hysteresis and a metastability window — and the property
+tests verify the pipeline digests all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComparatorParameters:
+    """Statistical and dynamic parameters of a latch comparator.
+
+    Attributes:
+        offset_sigma: 1-sigma input-referred offset [V]; one offset is
+            drawn per physical comparator and then frozen.
+        noise_rms: per-decision input-referred noise [V].
+        hysteresis: decision-history-dependent threshold shift [V];
+            positive values resist changing the previous decision.
+        metastability_window: half-width of the input band around the
+            threshold inside which the latch may fail to resolve in time
+            and outputs a random decision [V].
+    """
+
+    offset_sigma: float = 8e-3
+    noise_rms: float = 0.4e-3
+    hysteresis: float = 0.2e-3
+    metastability_window: float = 2e-6
+
+    def __post_init__(self) -> None:
+        for name in ("offset_sigma", "noise_rms", "hysteresis", "metastability_window"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+class DynamicComparator:
+    """One physical comparator with a frozen random offset.
+
+    Args:
+        threshold: nominal decision threshold [V] (differential).
+        parameters: statistical parameter bundle.
+        rng: generator used once to draw this instance's offset.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        parameters: ComparatorParameters,
+        rng: np.random.Generator,
+    ):
+        self.threshold = threshold
+        self.parameters = parameters
+        self.offset = float(rng.normal(0.0, parameters.offset_sigma))
+
+    @property
+    def effective_threshold(self) -> float:
+        """Nominal threshold plus the frozen offset [V]."""
+        return self.threshold + self.offset
+
+    def compare(
+        self,
+        inputs: np.ndarray,
+        rng: np.random.Generator,
+        previous: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decide ``inputs > threshold`` per sample, with impairments.
+
+        Args:
+            inputs: differential input voltages [V].
+            rng: generator for per-decision noise and metastability.
+            previous: previous decisions (booleans) for hysteresis; None
+                disables the history term.
+
+        Returns:
+            Boolean array of decisions.
+        """
+        v = np.asarray(inputs, dtype=float)
+        p = self.parameters
+        threshold = self.effective_threshold
+        noise = rng.normal(0.0, p.noise_rms, size=v.shape) if p.noise_rms else 0.0
+        shift = np.zeros_like(v)
+        if previous is not None and p.hysteresis > 0:
+            history = np.asarray(previous, dtype=bool)
+            if history.shape != v.shape:
+                raise ConfigurationError(
+                    "previous-decision array must match the input shape"
+                )
+            # A previous "high" decision lowers the effective threshold a
+            # touch (easier to stay high), and vice versa.
+            shift = np.where(history, -p.hysteresis, p.hysteresis)
+        margin = v + noise - (threshold + shift)
+        decisions = margin > 0
+        if p.metastability_window > 0:
+            metastable = np.abs(margin) < p.metastability_window
+            if np.any(metastable):
+                coin = rng.random(size=v.shape) < 0.5
+                decisions = np.where(metastable, coin, decisions)
+        return decisions
+
+
+def build_comparator_bank(
+    thresholds: list[float] | np.ndarray,
+    parameters: ComparatorParameters,
+    rng: np.random.Generator,
+) -> list[DynamicComparator]:
+    """Build one comparator per threshold with independent offsets.
+
+    Args:
+        thresholds: nominal thresholds in ascending order [V].
+        parameters: shared statistical parameters.
+        rng: generator for the offset draws.
+
+    Returns:
+        Comparators in the same order as the thresholds.
+    """
+    values = [float(t) for t in np.asarray(thresholds, dtype=float)]
+    if values != sorted(values):
+        raise ConfigurationError("comparator thresholds must be ascending")
+    return [DynamicComparator(t, parameters, rng) for t in values]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  The subtypes
+separate configuration mistakes (caller bugs) from modeling-domain
+violations (inputs outside a model's validity region).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range.
+
+    Raised during construction/validation of config dataclasses, e.g. a
+    pipeline with zero stages or a negative capacitance.
+    """
+
+
+class ModelDomainError(ReproError):
+    """An input falls outside the validity domain of a device model.
+
+    Raised, for instance, when a switch model is asked for its
+    on-resistance at a gate drive below threshold where the device does
+    not conduct.
+    """
+
+
+class AnalysisError(ReproError):
+    """A measurement/analysis routine cannot produce a valid result.
+
+    Raised, for instance, when a spectrum is requested from fewer samples
+    than the FFT size, or when a code-density linearity test has empty
+    code bins that make INL/DNL undefined.
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration routine failed to converge or was misapplied."""

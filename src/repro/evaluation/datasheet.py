@@ -1,0 +1,150 @@
+"""Datasheet generation: min/typ/max characterization across dies.
+
+A paper reports one die; a datasheet reports guaranteed limits.  This
+module characterizes a batch of model dies at the nominal operating
+point and renders the familiar min/typ/max electrical-characteristics
+table — the deliverable an IP vendor (the paper's authors sold this
+converter as an IP block) would actually ship.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AdcConfig
+from repro.core.floorplan import Floorplan
+from repro.core.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.evaluation.reporting import format_table
+from repro.evaluation.testbench import DynamicTestbench, StaticTestbench
+
+
+@dataclass(frozen=True)
+class DatasheetLine:
+    """One electrical-characteristics row.
+
+    Attributes:
+        parameter: row label.
+        unit: engineering unit string.
+        minimum / typical / maximum: the three datasheet columns; any
+            may be NaN when not applicable.
+    """
+
+    parameter: str
+    unit: str
+    minimum: float
+    typical: float
+    maximum: float
+
+    def cells(self) -> tuple[str, str, str, str, str]:
+        def fmt(value: float) -> str:
+            return "-" if math.isnan(value) else f"{value:.2f}"
+
+        return (
+            self.parameter,
+            fmt(self.minimum),
+            fmt(self.typical),
+            fmt(self.maximum),
+            self.unit,
+        )
+
+
+@dataclass(frozen=True)
+class Datasheet:
+    """Characterization outcome over a die batch.
+
+    Attributes:
+        lines: the electrical-characteristics rows.
+        n_dies: batch size behind the statistics.
+        conversion_rate: characterization rate [Hz].
+    """
+
+    lines: tuple[DatasheetLine, ...]
+    n_dies: int
+    conversion_rate: float
+
+    def render(self) -> str:
+        """Datasheet-style text table."""
+        title = (
+            f"Electrical characteristics — {self.n_dies} dies, "
+            f"{self.conversion_rate / 1e6:.0f} MS/s, f_in = 10 MHz, "
+            "2 Vp-p, TT/27C/1.8V"
+        )
+        return format_table(
+            ("parameter", "min", "typ", "max", "unit"),
+            [line.cells() for line in self.lines],
+            title=title,
+        )
+
+
+def characterize(
+    config: AdcConfig,
+    n_dies: int = 5,
+    conversion_rate: float = 110e6,
+    n_samples: int = 4096,
+    samples_per_code: int = 16,
+) -> Datasheet:
+    """Characterize a batch of dies and build the datasheet.
+
+    Args:
+        config: converter configuration.
+        n_dies: number of mismatch seeds to measure.
+        conversion_rate: characterization rate [Hz].
+        n_samples: FFT record length per die.
+        samples_per_code: ramp histogram depth per die.
+
+    Returns:
+        The populated datasheet.
+    """
+    if n_dies < 2:
+        raise ConfigurationError("need at least two dies for min/typ/max")
+    snr, sndr, sfdr, enob = [], [], [], []
+    dnl, inl_lo, inl_hi = [], [], []
+    for seed in range(1, n_dies + 1):
+        dynamic = DynamicTestbench(
+            config, n_samples=n_samples, die_seed=seed
+        ).measure(conversion_rate, 10e6)
+        snr.append(dynamic.snr_db)
+        sndr.append(dynamic.sndr_db)
+        sfdr.append(dynamic.sfdr_db)
+        enob.append(dynamic.enob_bits)
+        static = StaticTestbench(
+            config, samples_per_code=samples_per_code, die_seed=seed
+        ).measure(conversion_rate)
+        dnl.append(max(abs(static.dnl_min), abs(static.dnl_max)))
+        inl_lo.append(static.inl_min)
+        inl_hi.append(static.inl_max)
+
+    power = PowerModel(config).evaluate(conversion_rate).total * 1e3
+    area = Floorplan(config).total_area_mm2
+    nan = float("nan")
+
+    def stats(values, better_high=True):
+        ordered = sorted(values)
+        typical = float(np.median(ordered))
+        return (ordered[0], typical, ordered[-1])
+
+    lines = (
+        DatasheetLine("Resolution", "bit", nan, config.resolution, nan),
+        DatasheetLine(
+            "SNR (f_in=10MHz)", "dB", *stats(snr)
+        ),
+        DatasheetLine(
+            "SNDR (f_in=10MHz)", "dB", *stats(sndr)
+        ),
+        DatasheetLine(
+            "SFDR (f_in=10MHz)", "dB", *stats(sfdr)
+        ),
+        DatasheetLine("ENOB", "bit", *stats(enob)),
+        DatasheetLine("|DNL| peak", "LSB", *stats(dnl)),
+        DatasheetLine("INL (negative)", "LSB", *stats(inl_lo)),
+        DatasheetLine("INL (positive)", "LSB", *stats(inl_hi)),
+        DatasheetLine("Power", "mW", nan, power, nan),
+        DatasheetLine("Area", "mm^2", nan, area, nan),
+    )
+    return Datasheet(
+        lines=lines, n_dies=n_dies, conversion_rate=conversion_rate
+    )

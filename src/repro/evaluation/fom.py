@@ -1,0 +1,61 @@
+"""Figures of merit.
+
+The paper's eq. (2) extends Walden's survey FoM with silicon area:
+
+    FM = 2^ENOB * f_CR / (A * P_SUP)
+
+with f_CR in MS/s, A in mm^2 and P_SUP in mW (the paper fixes these
+units under Fig. 8).  For the published part:
+2^10.4 * 110 / (0.86 * 97) ~ 1.8e3, the highest in the survey.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def walden_figure_of_merit(
+    enob_bits: float, conversion_rate_hz: float, power_w: float
+) -> float:
+    """Walden's survey FoM P = 2^ENOB * f / P [conversions*levels/J].
+
+    Args:
+        enob_bits: effective number of bits.
+        conversion_rate_hz: sample rate [Hz].
+        power_w: power dissipation [W].
+    """
+    if conversion_rate_hz <= 0 or power_w <= 0:
+        raise ConfigurationError("rate and power must be positive")
+    return (2.0**enob_bits) * conversion_rate_hz / power_w
+
+
+def paper_figure_of_merit(
+    enob_bits: float,
+    conversion_rate_hz: float,
+    area_m2: float,
+    power_w: float,
+) -> float:
+    """Eq. (2) of the paper, in the paper's units.
+
+    Args:
+        enob_bits: effective number of bits (distortion included).
+        conversion_rate_hz: sample rate [Hz] (converted to MS/s).
+        area_m2: silicon area [m^2] (converted to mm^2).
+        power_w: power dissipation [W] (converted to mW).
+
+    Returns:
+        FM = 2^ENOB * f_CR[MS/s] / (A[mm^2] * P[mW]).
+    """
+    if conversion_rate_hz <= 0 or power_w <= 0 or area_m2 <= 0:
+        raise ConfigurationError("rate, area and power must be positive")
+    rate_msps = conversion_rate_hz / 1e6
+    area_mm2 = area_m2 * 1e6
+    power_mw = power_w * 1e3
+    return (2.0**enob_bits) * rate_msps / (area_mm2 * power_mw)
+
+
+def energy_per_conversion_step(
+    enob_bits: float, conversion_rate_hz: float, power_w: float
+) -> float:
+    """The modern inverse FoM P/(2^ENOB * f) [J/conversion-step]."""
+    return power_w / ((2.0**enob_bits) * conversion_rate_hz)

@@ -1,0 +1,199 @@
+"""Analytic noise budget — theory the simulation must agree with.
+
+The paper's SNR is a budget: quantization + front-end kT/C + opamp
+noise down the scaled chain + reference noise + aperture jitter.  This
+module computes that budget *analytically* from the same configuration
+the simulator uses, which serves two purposes:
+
+- **Validation**: the integration tests require the analytic SNR to
+  match the simulated SNR within a dB — the strongest evidence that the
+  simulator adds exactly the noise the physics says it should.
+- **Design insight**: the per-source rows show *why* the converter
+  measures 67 dB (and what the paper's stage scaling traded away).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import AdcConfig
+from repro.devices.opamp_design import OpampDesigner
+from repro.errors import ConfigurationError
+from repro.technology.corners import OperatingPoint
+from repro.units import BOLTZMANN
+
+
+@dataclass(frozen=True)
+class NoiseContribution:
+    """One input-referred noise source.
+
+    Attributes:
+        name: source label.
+        rms: input-referred rms value [V].
+    """
+
+    name: str
+    rms: float
+
+
+@dataclass(frozen=True)
+class NoiseBudget:
+    """Complete input-referred noise budget at one operating condition.
+
+    Attributes:
+        contributions: per-source rows.
+        signal_rms: stimulus rms used for the SNR figure [V].
+    """
+
+    contributions: tuple[NoiseContribution, ...]
+    signal_rms: float
+
+    @property
+    def total_rms(self) -> float:
+        """Root-sum-square of all contributions [V]."""
+        return math.sqrt(sum(c.rms**2 for c in self.contributions))
+
+    @property
+    def snr_db(self) -> float:
+        """Predicted SNR for the configured stimulus [dB]."""
+        return 20.0 * math.log10(self.signal_rms / self.total_rms)
+
+    def render(self) -> str:
+        """Text table of the budget."""
+        lines = ["Input-referred noise budget", "-" * 44]
+        for c in sorted(self.contributions, key=lambda c: -c.rms):
+            share = (c.rms / self.total_rms) ** 2 * 100
+            lines.append(
+                f"{c.name:<28}{c.rms * 1e6:>8.1f} uV  {share:>5.1f}%"
+            )
+        lines.append("-" * 44)
+        lines.append(
+            f"{'total':<28}{self.total_rms * 1e6:>8.1f} uV -> "
+            f"SNR {self.snr_db:.1f} dB"
+        )
+        return "\n".join(lines)
+
+
+def compute_noise_budget(
+    config: AdcConfig,
+    conversion_rate: float,
+    input_frequency: float = 10e6,
+    amplitude_fraction: float = 0.995,
+    operating_point: OperatingPoint | None = None,
+) -> NoiseBudget:
+    """Build the analytic budget for a configuration.
+
+    Args:
+        config: converter configuration.
+        conversion_rate: f_CR [Hz].
+        input_frequency: stimulus frequency (sets the jitter term) [Hz].
+        amplitude_fraction: stimulus amplitude relative to full scale.
+        operating_point: PVT context; nominal when omitted.
+
+    Returns:
+        The budget, with every source input-referred.
+    """
+    if conversion_rate <= 0 or input_frequency <= 0:
+        raise ConfigurationError("rate and input frequency must be positive")
+    if not 0 < amplitude_fraction <= 1:
+        raise ConfigurationError("amplitude fraction must be in (0, 1]")
+    point = operating_point or OperatingPoint(technology=config.technology)
+    kt = BOLTZMANN * point.temperature_k
+    cap_scale = point.capacitance_scale()
+    contributions = []
+
+    # Quantization.
+    lsb = config.lsb
+    contributions.append(
+        NoiseContribution("quantization", lsb / math.sqrt(12.0))
+    )
+
+    # Front-end kT/C (two sides of the stage-1 sampling caps).
+    stage_configs = config.stage_configs()
+    ch1 = stage_configs[0].sampling_capacitance * cap_scale
+    if config.include_thermal_noise:
+        contributions.append(
+            NoiseContribution("front-end kT/C", math.sqrt(2.0 * kt / ch1))
+        )
+
+    # Later-stage kT/C and every stage's opamp noise, referred through
+    # the interstage gain of 2 per stage.
+    bias = (
+        config.resolved_fixed_bias()
+        if config.use_fixed_bias
+        else config.resolved_bias()
+    ).evaluate(conversion_rate, point)
+    if config.include_thermal_noise:
+        ktc_tail = 0.0
+        opamp_tail = 0.0
+        for stage, current in zip(stage_configs, bias.stage_currents):
+            gain_to_input = 2.0 ** (stage.index + 1)
+            if stage.index > 0:
+                ch = stage.sampling_capacitance * cap_scale
+                ktc_tail += (2.0 * kt / ch) / (2.0 ** stage.index) ** 2
+            designer = OpampDesigner(
+                operating_point=point,
+                input_pair_width=stage.input_pair_width,
+                input_pair_length=config.input_pair_length,
+                compensation_capacitance=stage.compensation_capacitance
+                * cap_scale,
+                load_capacitance=stage.load_capacitance * cap_scale,
+                output_stage_current_ratio=config.output_stage_current_ratio,
+                bias_overhead_ratio=config.bias_overhead_ratio,
+                intrinsic_gain_per_stage=config.intrinsic_gain_per_stage,
+                output_swing=config.output_swing,
+                compression=config.opamp_compression,
+                noise_excess_factor=config.noise_excess_factor,
+            )
+            opamp = designer.build(float(current))
+            c1 = stage.unit_capacitance * cap_scale
+            c_sum = (
+                2.0 * c1
+                + config.parasitic_summing_capacitance * stage.scale * cap_scale
+                + opamp.parameters.input_capacitance
+            )
+            beta = c1 / c_sum
+            output_noise = opamp.sampled_noise_rms(
+                feedback_factor=beta,
+                load_capacitance=stage.load_capacitance * cap_scale,
+                temperature_k=point.temperature_k,
+            )
+            opamp_tail += (output_noise / gain_to_input) ** 2
+        contributions.append(
+            NoiseContribution("later-stage kT/C", math.sqrt(ktc_tail))
+        )
+        contributions.append(
+            NoiseContribution("opamp noise (all stages)", math.sqrt(opamp_tail))
+        )
+
+    # Reference noise: multiplies the stage-1 DAC level, active for the
+    # ~50% of samples whose decision is +-1, referred through gain 2;
+    # later stages contribute a geometric tail.
+    if config.include_reference_noise and config.reference.noise_rms > 0:
+        activity = 0.5
+        tail = sum(1.0 / 4.0**i for i in range(config.n_stages))
+        ref_noise = (
+            config.reference.noise_rms
+            * math.sqrt(activity * tail)
+            / 2.0
+        )
+        contributions.append(NoiseContribution("reference noise", ref_noise))
+
+    # Aperture jitter on a sine of the configured amplitude.
+    if config.include_jitter and config.clock.aperture_jitter_rms > 0:
+        amplitude = amplitude_fraction * config.vref
+        jitter_rms = (
+            2.0
+            * math.pi
+            * input_frequency
+            * config.clock.aperture_jitter_rms
+            * amplitude
+            / math.sqrt(2.0)
+        )
+        contributions.append(NoiseContribution("aperture jitter", jitter_rms))
+
+    signal_rms = amplitude_fraction * config.vref / math.sqrt(2.0)
+    return NoiseBudget(
+        contributions=tuple(contributions), signal_rms=signal_rms
+    )

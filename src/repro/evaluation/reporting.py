@@ -1,0 +1,117 @@
+"""Plain-text rendering of result tables and series.
+
+The benchmarks must *print the same rows/series the paper reports*, so
+all experiment output funnels through these two helpers: a fixed-width
+table and a crude-but-honest ASCII line chart for the figure-shaped
+results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: row cells; rendered with str().
+        title: optional heading line.
+
+    Returns:
+        The table as a newline-joined string.
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render one or more y(x) series as an ASCII chart plus value rows.
+
+    Args:
+        x_label: x-axis label.
+        x_values: shared x coordinates.
+        series: mapping of series name to y values.
+        width: chart width in characters.
+        height: chart height in rows.
+        title: optional heading.
+
+    Returns:
+        Chart and the numeric rows as text.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigurationError(f"series '{name}' length mismatch")
+    if len(x_values) < 2:
+        raise ConfigurationError("need at least two points")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        raise ConfigurationError("x values are all equal")
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_min:.4g} .. {y_max:.4g}")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"x ({x_label}): {x_min:.4g} .. {x_max:.4g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+
+    headers = [x_label, *series.keys()]
+    rows = [
+        [f"{x:.4g}", *(f"{series[name][i]:.4g}" for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    lines.append("")
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)

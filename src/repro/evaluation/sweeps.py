@@ -1,0 +1,86 @@
+"""Generic parameter-sweep engine.
+
+Every figure in the paper is a sweep (power vs rate, metrics vs rate,
+metrics vs input frequency); the ablations sweep configurations.  The
+engine keeps the bookkeeping (point labels, failures, row extraction)
+out of the experiment scripts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated sweep point.
+
+    Attributes:
+        parameter: the swept value.
+        result: whatever the evaluation function returned (None if it
+            failed).
+        error: stringified failure, if the point failed.
+    """
+
+    parameter: float
+    result: object | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def sweep(
+    parameters: Iterable[float],
+    evaluate: Callable[[float], object],
+    continue_on_error: bool = False,
+) -> list[SweepPoint]:
+    """Evaluate a function over a parameter list.
+
+    Args:
+        parameters: the sweep values.
+        evaluate: point evaluator.
+        continue_on_error: when True, a :class:`ReproError` at one point
+            is recorded and the sweep continues — used for sweeps that
+            intentionally run into a model's validity wall (e.g. pushing
+            f_CR until no settling window remains).
+
+    Returns:
+        One :class:`SweepPoint` per parameter, in order.
+    """
+    points = []
+    for parameter in parameters:
+        value = float(parameter)
+        try:
+            points.append(SweepPoint(parameter=value, result=evaluate(value)))
+        except ReproError as error:
+            if not continue_on_error:
+                raise
+            points.append(
+                SweepPoint(parameter=value, result=None, error=str(error))
+            )
+    return points
+
+
+def extract(
+    points: Sequence[SweepPoint], getter: Callable[[object], float]
+) -> tuple[list[float], list[float]]:
+    """Split successful points into (x, y) lists.
+
+    Args:
+        points: sweep output.
+        getter: maps a point result to the y value.
+
+    Returns:
+        Parallel x and y lists, failed points skipped.
+    """
+    xs, ys = [], []
+    for point in points:
+        if point.ok:
+            xs.append(point.parameter)
+            ys.append(float(getter(point.result)))
+    return xs, ys

@@ -1,0 +1,31 @@
+"""Runnable reproductions of every table and figure in the paper.
+
+Each experiment regenerates one artifact of the paper's evaluation
+section and checks the paper's *claims about its shape* (who wins, where
+knees fall, what scales with what) rather than silicon-exact numbers:
+
+- ``fig4``   — power dissipation vs conversion rate,
+- ``fig5``   — SFDR/SNR/SNDR vs conversion rate,
+- ``fig6``   — SFDR/SNR/SNDR vs input frequency,
+- ``fig7``   — die area budget,
+- ``fig8``   — figure of merit vs 1/area survey,
+- ``table1`` — the key-data table,
+- ``abl-*``  — ablations of the paper's design decisions.
+
+Run them from Python (:func:`repro.experiments.registry.run_experiment`)
+or the CLI (``python -m repro fig5``).
+"""
+
+from repro.experiments.registry import (
+    ClaimCheck,
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "ExperimentResult",
+    "available_experiments",
+    "run_experiment",
+]

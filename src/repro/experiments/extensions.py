@@ -1,0 +1,145 @@
+"""Extension experiments beyond the paper's own evaluation.
+
+- ``ext-calibration`` — foreground weight calibration (the standard
+  follow-on the uncalibrated silicon lacks): how much INL it recovers
+  on a badly mismatched die.
+- ``ext-noise-budget`` — the analytic noise budget against the
+  simulated SNR: the model's noise book-keeping audited by theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.adc import PipelineAdc
+from repro.core.calibration import GainCalibration
+from repro.core.config import AdcConfig
+from repro.evaluation.noise_budget import compute_noise_budget
+from repro.evaluation.testbench import DynamicTestbench
+from repro.experiments.registry import ClaimCheck, ExperimentResult, register
+from repro.signal.linearity import ramp_linearity
+from repro.technology.process import Technology
+
+
+@register("ext-calibration")
+def run_calibration(quick: bool = False) -> ExperimentResult:
+    """Foreground calibration on a deliberately mismatched die."""
+    config = replace(
+        AdcConfig.paper_default(),
+        technology=Technology(metal_cap_matching=2.0e-7),
+        include_jitter=False,
+        include_reference_noise=False,
+        include_tracking=False,
+    )
+    adc = PipelineAdc(config, conversion_rate=110e6, seed=5)
+    calibration = GainCalibration(
+        adc, samples_per_code=16 if quick else 24
+    )
+    calibration.calibrate()
+
+    samples = 4096 * (16 if quick else 24)
+    ramp = np.linspace(-1.02, 1.02, samples)
+    result = adc.convert_samples(ramp, noise_seed=55)
+    raw = ramp_linearity(result.codes, 4096)
+    corrected = ramp_linearity(
+        calibration.reconstruct(result.stage_codes, result.flash_codes), 4096
+    )
+
+    rows = (
+        (
+            "uncalibrated",
+            f"{raw.dnl_min:+.2f}/{raw.dnl_max:+.2f}",
+            f"{raw.inl_min:+.2f}/{raw.inl_max:+.2f}",
+            str(len(raw.missing_codes)),
+        ),
+        (
+            "calibrated",
+            f"{corrected.dnl_min:+.2f}/{corrected.dnl_max:+.2f}",
+            f"{corrected.inl_min:+.2f}/{corrected.inl_max:+.2f}",
+            str(len(corrected.missing_codes)),
+        ),
+    )
+    raw_peak = max(abs(raw.inl_min), abs(raw.inl_max))
+    corrected_peak = max(abs(corrected.inl_min), abs(corrected.inl_max))
+    claims = (
+        ClaimCheck(
+            claim=(
+                "foreground weight calibration recovers most of the "
+                "mismatch-induced INL (extension; not in the paper)"
+            ),
+            passed=corrected_peak < 0.5 * raw_peak,
+            detail=(
+                f"peak INL {raw_peak:.2f} -> {corrected_peak:.2f} LSB on a "
+                "die with ~10x the nominal capacitor mismatch"
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext-calibration",
+        title="Foreground weight calibration (extension)",
+        headers=("reconstruction", "DNL [LSB]", "INL [LSB]", "missing"),
+        rows=rows,
+        claims=claims,
+        notes=("Extension beyond the published, uncalibrated part.",),
+    )
+
+
+@register("ext-noise-budget")
+def run_noise_budget(quick: bool = False) -> ExperimentResult:
+    """Analytic noise budget vs the simulated SNR."""
+    config = AdcConfig.paper_default()
+    bench = DynamicTestbench(config, n_samples=4096 if quick else 8192)
+
+    rows = []
+    checks = []
+    for fin in (10e6, 100e6):
+        budget = compute_noise_budget(config, 110e6, input_frequency=fin)
+        measured = bench.measure(110e6, fin)
+        rows.append(
+            (
+                f"{fin / 1e6:.0f}",
+                f"{budget.total_rms * 1e6:.0f}",
+                f"{budget.snr_db:.1f}",
+                f"{measured.snr_db:.1f}",
+            )
+        )
+        checks.append(abs(budget.snr_db - measured.snr_db))
+
+    budget = compute_noise_budget(config, 110e6)
+    dominant = max(budget.contributions, key=lambda c: c.rms)
+    claims = (
+        ClaimCheck(
+            claim=(
+                "the simulator's noise matches the analytic budget "
+                "(quantization + kT/C + opamp + reference + jitter)"
+            ),
+            passed=all(delta <= 1.5 for delta in checks),
+            detail=(
+                "analytic-vs-simulated SNR deltas: "
+                + ", ".join(f"{d:.2f} dB" for d in checks)
+            ),
+        ),
+        ClaimCheck(
+            claim=(
+                "thermal noise (not quantization) limits the converter — "
+                "why ENOB is 10.4 and not 12"
+            ),
+            passed=dominant.name != "quantization",
+            detail=f"dominant source: {dominant.name} at "
+            f"{dominant.rms * 1e6:.0f} uV",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext-noise-budget",
+        title="Analytic noise budget vs simulation (110 MS/s)",
+        headers=(
+            "f_in [MHz]",
+            "analytic noise [uV]",
+            "analytic SNR [dB]",
+            "simulated SNR [dB]",
+        ),
+        rows=tuple(rows),
+        claims=claims,
+    )

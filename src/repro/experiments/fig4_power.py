@@ -1,0 +1,90 @@
+"""Fig. 4 — power dissipation versus conversion rate.
+
+Paper: "As predicted by (1) the bias currents, and subsequently the
+power dissipation, is linearly scaled versus conversion rate.  The plot
+shows a power dissipation of 97mW at 110MS/s and 110mW at 130MS/s."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AdcConfig
+from repro.evaluation.testbench import PowerTestbench
+from repro.experiments.registry import ClaimCheck, ExperimentResult, register
+
+#: The two anchor points the paper quotes.
+PAPER_POWER_110 = 97e-3
+PAPER_POWER_130 = 110e-3
+
+
+@register("fig4")
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the Fig. 4 series and check the paper's anchors."""
+    rates = (
+        np.array([20, 60, 110, 130]) * 1e6
+        if quick
+        else np.arange(10, 131, 10) * 1e6
+    )
+    bench = PowerTestbench(AdcConfig.paper_default())
+    budgets = bench.measure_sweep(rates)
+
+    rows = tuple(
+        (
+            f"{b.conversion_rate / 1e6:.0f}",
+            f"{b.total * 1e3:.1f}",
+            f"{b.opamps * 1e3:.1f}",
+            f"{b.static_analog * 1e3:.1f}",
+            f"{(b.scaled - b.opamps) * 1e3:.1f}",
+        )
+        for b in budgets
+    )
+
+    by_rate = {round(b.conversion_rate / 1e6): b.total for b in budgets}
+    p110 = by_rate.get(110) or bench.measure(110e6).total
+    p130 = by_rate.get(130) or bench.measure(130e6).total
+
+    # Linearity of the scaled part: R^2 of a straight-line fit.
+    totals = np.array([b.total for b in budgets])
+    xs = np.array([b.conversion_rate for b in budgets])
+    slope, intercept = np.polyfit(xs, totals, 1)
+    fitted = slope * xs + intercept
+    ss_res = float(np.sum((totals - fitted) ** 2))
+    ss_tot = float(np.sum((totals - totals.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot
+
+    claims = (
+        ClaimCheck(
+            claim="power dissipation is 97 mW at 110 MS/s",
+            passed=abs(p110 - PAPER_POWER_110) <= 0.06 * PAPER_POWER_110,
+            detail=f"measured {p110 * 1e3:.1f} mW (paper 97 mW)",
+        ),
+        ClaimCheck(
+            claim="power dissipation is 110 mW at 130 MS/s",
+            passed=abs(p130 - PAPER_POWER_130) <= 0.06 * PAPER_POWER_130,
+            detail=f"measured {p130 * 1e3:.1f} mW (paper 110 mW)",
+        ),
+        ClaimCheck(
+            claim="power scales linearly with conversion rate (eq. (1))",
+            passed=r_squared > 0.995,
+            detail=(
+                f"linear fit R^2 = {r_squared:.4f}, slope "
+                f"{slope * 1e9:.3f} mW/MS/s, intercept "
+                f"{intercept * 1e3:.1f} mW of static (bandgap + reference "
+                "buffer + CM)"
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Power dissipation versus conversion rate",
+        headers=(
+            "f_CR [MS/s]",
+            "total [mW]",
+            "opamps [mW]",
+            "static [mW]",
+            "other scaled [mW]",
+        ),
+        rows=rows,
+        claims=claims,
+    )

@@ -1,0 +1,50 @@
+"""Signal generation and measurement analysis.
+
+The lab side of the reproduction: spectrally pure stimuli (standing in
+for the paper's filtered RF sources), coherent-sampling frequency
+planning, FFT-based dynamic metrics (SNR / SNDR / SFDR / THD / ENOB) and
+code-density static linearity (INL / DNL) — the exact quantities
+reported in the paper's Table I and Figs. 4-6.
+"""
+
+from repro.signal.coherent import alias_bin, coherent_bin, coherent_frequency
+from repro.signal.imd import ImdProduct, ImdResult, TwoToneAnalyzer
+from repro.signal.static_params import StaticParameters, extract_static_parameters
+from repro.signal.generators import (
+    DcGenerator,
+    MultitoneGenerator,
+    RampGenerator,
+    SineGenerator,
+)
+from repro.signal.linearity import (
+    LinearityResult,
+    histogram_linearity,
+    ramp_linearity,
+    sine_linearity,
+)
+from repro.signal.metrics import HarmonicComponent, SpectrumMetrics
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.signal.windows import Window, window_function
+
+__all__ = [
+    "DcGenerator",
+    "HarmonicComponent",
+    "ImdProduct",
+    "ImdResult",
+    "TwoToneAnalyzer",
+    "LinearityResult",
+    "MultitoneGenerator",
+    "RampGenerator",
+    "SineGenerator",
+    "SpectrumAnalyzer",
+    "SpectrumMetrics",
+    "StaticParameters",
+    "extract_static_parameters",
+    "Window",
+    "coherent_bin",
+    "coherent_frequency",
+    "histogram_linearity",
+    "ramp_linearity",
+    "sine_linearity",
+    "window_function",
+]

@@ -1,0 +1,79 @@
+"""Coherent-sampling frequency planning.
+
+Dynamic ADC tests want the stimulus to complete an integer, odd and
+record-length-coprime number of cycles in the FFT record: every output
+bin then holds either signal, a fold of a harmonic, or noise — no
+leakage, no window needed.  This is how the paper's dynamic numbers
+would have been taken (RF source phase-locked to the clock).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def alias_bin(cycles: int, n_samples: int) -> int:
+    """Fold a cycle count into the first Nyquist zone [0, N/2]."""
+    m = cycles % n_samples
+    if m > n_samples // 2:
+        m = n_samples - m
+    return m
+
+
+def coherent_bin(
+    target_frequency: float, sample_rate: float, n_samples: int
+) -> int:
+    """Pick the coherent cycle count nearest a target frequency.
+
+    Super-Nyquist targets are allowed — the paper's Fig. 6 sweeps the
+    input to 150 MHz at a 110 MS/s clock, i.e. deliberate undersampling;
+    the *stimulus* stays at the true RF frequency (so jitter and
+    tracking see the real slew rate) while its energy aliases to
+    ``alias_bin``.
+
+    Args:
+        target_frequency: desired stimulus frequency [Hz]; any value in
+            (0, 8*sample_rate).
+        sample_rate: converter sample rate [Hz].
+        n_samples: FFT record length (need not be a power of two, but
+            the cycle count must end up coprime with it).
+
+    Returns:
+        The number of cycles M in the record: odd, coprime with
+        ``n_samples``, and aliasing at least 3 bins away from DC.
+    """
+    if sample_rate <= 0 or n_samples < 8:
+        raise AnalysisError("need a positive rate and >= 8 samples")
+    if not 0 < target_frequency < 8 * sample_rate:
+        raise AnalysisError(
+            f"target {target_frequency:.4g} Hz outside the supported "
+            f"(0, 8*fs) range at fs = {sample_rate:.4g} Hz"
+        )
+    ideal = target_frequency / sample_rate * n_samples
+    candidate = max(1, round(ideal))
+    if candidate % 2 == 0:
+        candidate += 1 if ideal >= candidate else -1
+    candidate = max(1, candidate)
+    # Walk outward until odd, coprime with the record length, and not
+    # aliasing onto (or right next to) DC.
+    for offset in range(0, n_samples):
+        for m in (candidate + offset, candidate - offset):
+            if m < 1:
+                continue
+            if m % 2 == 1 and math.gcd(m, n_samples) == 1:
+                if alias_bin(m, n_samples) >= 3:
+                    return m
+    raise AnalysisError(
+        f"no coherent bin near {target_frequency:.4g} Hz for "
+        f"N = {n_samples}"
+    )
+
+
+def coherent_frequency(
+    target_frequency: float, sample_rate: float, n_samples: int
+) -> float:
+    """The realizable coherent frequency nearest the target [Hz]."""
+    m = coherent_bin(target_frequency, sample_rate, n_samples)
+    return m * sample_rate / n_samples

@@ -1,0 +1,174 @@
+"""Stimulus generators.
+
+All generators implement the :class:`repro.core.adc.DifferentialSignal`
+protocol — ``value(t)`` and the analytic ``derivative(t)`` the sampling
+network's tracking model needs.  They stand in for the paper's filtered
+RF sources: spectrally pure by construction, with optional additive
+source imperfections for robustness studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.coherent import coherent_frequency
+
+
+@dataclass(frozen=True)
+class SineGenerator:
+    """A pure differential sine.
+
+    Attributes:
+        frequency: tone frequency [Hz].
+        amplitude: differential amplitude [V] (1.0 = the paper's 2 V_pp).
+        phase: initial phase [rad].
+        offset: differential DC offset [V].
+    """
+
+    frequency: float
+    amplitude: float = 1.0
+    phase: float = 0.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if self.amplitude <= 0:
+            raise ConfigurationError("amplitude must be positive")
+
+    @classmethod
+    def coherent(
+        cls,
+        target_frequency: float,
+        sample_rate: float,
+        n_samples: int,
+        amplitude: float = 1.0,
+        phase: float = 0.0,
+    ) -> "SineGenerator":
+        """A sine snapped to the nearest coherent frequency."""
+        actual = coherent_frequency(target_frequency, sample_rate, n_samples)
+        return cls(frequency=actual, amplitude=amplitude, phase=phase)
+
+    def value(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        omega = 2.0 * math.pi * self.frequency
+        return self.offset + self.amplitude * np.sin(omega * t + self.phase)
+
+    def derivative(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        omega = 2.0 * math.pi * self.frequency
+        return self.amplitude * omega * np.cos(omega * t + self.phase)
+
+    def rms(self) -> float:
+        """rms value of the AC part [V]."""
+        return self.amplitude / math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class RampGenerator:
+    """A slow linear ramp for code-density (static linearity) tests.
+
+    Sweeps from ``start`` to ``stop`` over ``duration`` and holds the
+    end value afterwards.  Slightly overdriving both rails (a few
+    percent beyond full scale) is the standard way to keep the end bins
+    out of the INL/DNL statistics.
+
+    Attributes:
+        start: initial differential voltage [V].
+        stop: final differential voltage [V].
+        duration: sweep time [s].
+    """
+
+    start: float
+    stop: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.stop == self.start:
+            raise ConfigurationError("ramp must actually move")
+
+    @property
+    def slope(self) -> float:
+        """Ramp slope [V/s]."""
+        return (self.stop - self.start) / self.duration
+
+    def value(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        v = self.start + self.slope * np.clip(t, 0.0, self.duration)
+        return v
+
+    def derivative(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        inside = (t >= 0.0) & (t <= self.duration)
+        return np.where(inside, self.slope, 0.0)
+
+
+@dataclass(frozen=True)
+class MultitoneGenerator:
+    """Sum of sines (two-tone IMD tests and multitone stress).
+
+    Attributes:
+        tones: the component generators.
+    """
+
+    tones: tuple[SineGenerator, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tones:
+            raise ConfigurationError("need at least one tone")
+
+    @classmethod
+    def two_tone(
+        cls,
+        f1: float,
+        f2: float,
+        amplitude_each: float = 0.49,
+    ) -> "MultitoneGenerator":
+        """The classic closely-spaced two-tone IMD stimulus."""
+        return cls(
+            tones=(
+                SineGenerator(frequency=f1, amplitude=amplitude_each),
+                SineGenerator(frequency=f2, amplitude=amplitude_each),
+            )
+        )
+
+    def value(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        total = np.zeros_like(t)
+        for tone in self.tones:
+            total = total + tone.value(t)
+        return total
+
+    def derivative(self, times: np.ndarray) -> np.ndarray:
+        t = np.asarray(times, dtype=float)
+        total = np.zeros_like(t)
+        for tone in self.tones:
+            total = total + tone.derivative(t)
+        return total
+
+    def peak(self) -> float:
+        """Worst-case peak (sum of amplitudes plus offsets) [V]."""
+        return sum(tone.amplitude + abs(tone.offset) for tone in self.tones)
+
+
+@dataclass(frozen=True)
+class DcGenerator:
+    """A DC level (offset tests, calibration probes).
+
+    Attributes:
+        level: the differential voltage [V].
+    """
+
+    level: float
+
+    def value(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(times).shape, self.level)
+
+    def derivative(self, times: np.ndarray) -> np.ndarray:
+        return np.zeros(np.asarray(times).shape)

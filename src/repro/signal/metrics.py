@@ -1,0 +1,108 @@
+"""Result dataclasses for dynamic and static measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.units import enob_from_sndr
+
+
+@dataclass(frozen=True)
+class HarmonicComponent:
+    """One harmonic of the fundamental, folded into the first Nyquist zone.
+
+    Attributes:
+        order: harmonic order (2 = HD2, 3 = HD3, ...).
+        bin_index: FFT bin the harmonic folds onto.
+        power_dbc: harmonic power relative to the carrier [dBc].
+    """
+
+    order: int
+    bin_index: int
+    power_dbc: float
+
+
+@dataclass(frozen=True)
+class SpectrumMetrics:
+    """Dynamic metrics of one capture — the Table I quantities.
+
+    Attributes:
+        sample_rate: converter sample rate [Hz].
+        fundamental_frequency: measured carrier frequency [Hz].
+        fundamental_bin: carrier FFT bin.
+        signal_power_dbfs: carrier power relative to full scale [dB].
+        snr_db: signal-to-noise ratio, harmonics excluded [dB].
+        sndr_db: signal-to-noise-and-distortion ratio [dB].
+        sfdr_db: spurious-free dynamic range [dB].
+        thd_db: total harmonic distortion (2nd..9th), relative to the
+            carrier [dB] (negative number).
+        enob_bits: effective number of bits from SNDR.
+        worst_spur_bin: bin index of the SFDR-setting spur.
+        harmonics: folded harmonic table.
+        noise_floor_dbc: mean per-bin noise power [dBc] (diagnostics).
+    """
+
+    sample_rate: float
+    fundamental_frequency: float
+    fundamental_bin: int
+    signal_power_dbfs: float
+    snr_db: float
+    sndr_db: float
+    sfdr_db: float
+    thd_db: float
+    enob_bits: float
+    worst_spur_bin: int
+    harmonics: tuple[HarmonicComponent, ...]
+    noise_floor_dbc: float
+
+    @classmethod
+    def from_powers(
+        cls,
+        sample_rate: float,
+        fundamental_frequency: float,
+        fundamental_bin: int,
+        signal_power: float,
+        full_scale_power: float,
+        noise_power: float,
+        distortion_power: float,
+        worst_spur_power: float,
+        worst_spur_bin: int,
+        harmonics: tuple[HarmonicComponent, ...],
+        n_noise_bins: int,
+    ) -> "SpectrumMetrics":
+        """Assemble the dB metrics from linear power sums."""
+        tiny = 1e-30
+        snr = 10.0 * np.log10(signal_power / max(noise_power, tiny))
+        sndr = 10.0 * np.log10(
+            signal_power / max(noise_power + distortion_power, tiny)
+        )
+        sfdr = 10.0 * np.log10(signal_power / max(worst_spur_power, tiny))
+        thd = 10.0 * np.log10(max(distortion_power, tiny) / signal_power)
+        floor = 10.0 * np.log10(
+            max(noise_power, tiny) / max(n_noise_bins, 1) / signal_power
+        )
+        return cls(
+            sample_rate=sample_rate,
+            fundamental_frequency=fundamental_frequency,
+            fundamental_bin=fundamental_bin,
+            signal_power_dbfs=10.0
+            * np.log10(signal_power / max(full_scale_power, tiny)),
+            snr_db=float(snr),
+            sndr_db=float(sndr),
+            sfdr_db=float(sfdr),
+            thd_db=float(thd),
+            enob_bits=enob_from_sndr(float(sndr)),
+            worst_spur_bin=worst_spur_bin,
+            harmonics=harmonics,
+            noise_floor_dbc=float(floor),
+        )
+
+    def summary(self) -> str:
+        """One-line textual summary (reports, benches)."""
+        return (
+            f"SNR {self.snr_db:5.1f} dB | SNDR {self.sndr_db:5.1f} dB | "
+            f"SFDR {self.sfdr_db:5.1f} dB | THD {self.thd_db:6.1f} dB | "
+            f"ENOB {self.enob_bits:4.2f} b"
+        )

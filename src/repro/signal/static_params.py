@@ -1,0 +1,92 @@
+"""Static parameter extraction: offset and gain error.
+
+Alongside INL/DNL, a converter datasheet quotes *offset error* (where
+the mid-scale transition actually sits) and *gain error* (how far the
+full-scale transfer slope deviates from ideal).  Both fall out of the
+same ramp capture the linearity test uses: a least-squares line through
+the code-vs-voltage cloud, compared with the ideal transfer.
+
+Neither number appears in the paper's Table I (offset and gain error
+are trimmed or absorbed at system level for an IP block), but any user
+qualifying the model against a datasheet flow needs them — and the
+tests use them to pin the model's end-point behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class StaticParameters:
+    """Offset and gain of a measured transfer.
+
+    Attributes:
+        offset_lsb: offset error at mid-scale [LSB]; positive when the
+            transfer reads high.
+        gain_error_fraction: fractional slope error; positive when the
+            converter over-reads full scale.
+        fit_rms_lsb: rms deviation of the capture from the fitted line
+            [LSB] — noise plus INL, a quick health figure.
+    """
+
+    offset_lsb: float
+    gain_error_fraction: float
+    fit_rms_lsb: float
+
+    def summary(self) -> str:
+        """One-line textual summary."""
+        return (
+            f"offset {self.offset_lsb:+.2f} LSB | gain error "
+            f"{100 * self.gain_error_fraction:+.3f}% | fit rms "
+            f"{self.fit_rms_lsb:.2f} LSB"
+        )
+
+
+def extract_static_parameters(
+    voltages: np.ndarray,
+    codes: np.ndarray,
+    vref: float,
+    resolution: int,
+    clip_guard: int = 8,
+) -> StaticParameters:
+    """Fit offset and gain from a (voltage, code) capture.
+
+    Args:
+        voltages: applied differential voltages [V] (e.g. a slow ramp).
+        codes: corresponding output codes.
+        vref: full-scale amplitude [V].
+        resolution: converter resolution [bits].
+        clip_guard: codes this close to either rail are excluded from
+            the fit (their position depends on clipping, not transfer).
+
+    Returns:
+        The fitted static parameters.
+    """
+    v = np.asarray(voltages, dtype=float)
+    d = np.asarray(codes, dtype=float)
+    if v.shape != d.shape or v.ndim != 1:
+        raise AnalysisError("voltages and codes must be matching 1-D arrays")
+    if v.size < 64:
+        raise AnalysisError("need >= 64 points for a stable fit")
+    n_codes = 1 << resolution
+    keep = (d > clip_guard) & (d < n_codes - 1 - clip_guard)
+    if keep.sum() < 32:
+        raise AnalysisError("capture is almost entirely clipped")
+
+    ideal_codes = (v / vref + 1.0) * (n_codes / 2) - 0.5
+    slope, intercept = np.polyfit(ideal_codes[keep], d[keep], 1)
+
+    mid = (n_codes - 1) / 2.0
+    offset_lsb = float(slope * mid + intercept - mid)
+    gain_error = float(slope - 1.0)
+    residual = d[keep] - (slope * ideal_codes[keep] + intercept)
+    return StaticParameters(
+        offset_lsb=offset_lsb,
+        gain_error_fraction=gain_error,
+        fit_rms_lsb=float(np.sqrt(np.mean(residual**2))),
+    )

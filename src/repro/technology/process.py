@@ -1,0 +1,151 @@
+"""Parameter set for the 0.18um pure digital CMOS process.
+
+The paper stresses that the ADC uses *no* analog process options: the
+sampling capacitors are parasitic lateral metal capacitors (paper Fig. 2,
+"the parallel connection of the parasitic metal capacitors C1 and C2") and
+the absolute capacitor spread is large ("In modern CMOS technologies the
+spread in the absolute value of capacitors is large").  The numbers below
+are representative of published 0.18 um digital CMOS data; they are inputs
+to behavioral models, not SPICE cards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Device and passive parameters of a digital CMOS node.
+
+    All values are at the typical corner and room temperature; corner and
+    temperature shifts are applied by
+    :class:`~repro.technology.corners.OperatingPoint`.
+
+    Attributes:
+        name: human-readable node name.
+        supply_voltage: nominal supply [V].
+        nmos_vth: NMOS threshold voltage [V].
+        pmos_vth: PMOS threshold voltage magnitude [V] (positive number).
+        nmos_kprime: NMOS process transconductance u_n*Cox [A/V^2].
+        pmos_kprime: PMOS process transconductance u_p*Cox [A/V^2].
+        mobility_theta: vertical-field mobility degradation factor [1/V];
+            Ron and gm models use 1/(1 + theta*Vov).
+        body_gamma: body-effect coefficient [sqrt(V)].
+        surface_potential: 2*phi_F used by the body-effect formula [V].
+        oxide_capacitance: gate capacitance per area [F/m^2].
+        metal_cap_density: lateral metal capacitor density [F/m^2].  Low —
+            this is a digital process; caps are metal finger parasitics.
+        metal_cap_spread: 1-sigma relative *absolute* spread of metal
+            capacitors (die-to-die).  The SC bias generator exists to
+            absorb this.
+        metal_cap_matching: Pelgrom-style local matching coefficient
+            [fraction*sqrt(m^2)]; sigma(dC/C) = matching / sqrt(area).
+        vth_mismatch_avt: Pelgrom A_VT for threshold mismatch [V*m].
+        junction_leakage_density: reverse junction leakage per device width
+            [A/m] at room temperature; sets hold-mode droop at very low
+            conversion rates.
+    """
+
+    name: str = "0.18um digital CMOS"
+    supply_voltage: float = 1.8
+    nmos_vth: float = 0.45
+    pmos_vth: float = 0.48
+    nmos_kprime: float = 310e-6
+    pmos_kprime: float = 70e-6
+    mobility_theta: float = 0.35
+    body_gamma: float = 0.45
+    surface_potential: float = 0.85
+    oxide_capacitance: float = 8.4e-3
+    metal_cap_density: float = 0.18e-3
+    metal_cap_spread: float = 0.15
+    metal_cap_matching: float = 3.5e-8
+    vth_mismatch_avt: float = 4.5e-9
+    junction_leakage_density: float = 1.0e-9
+
+    def __post_init__(self) -> None:
+        positive_fields = {
+            "supply_voltage": self.supply_voltage,
+            "nmos_vth": self.nmos_vth,
+            "pmos_vth": self.pmos_vth,
+            "nmos_kprime": self.nmos_kprime,
+            "pmos_kprime": self.pmos_kprime,
+            "body_gamma": self.body_gamma,
+            "surface_potential": self.surface_potential,
+            "oxide_capacitance": self.oxide_capacitance,
+            "metal_cap_density": self.metal_cap_density,
+            "vth_mismatch_avt": self.vth_mismatch_avt,
+        }
+        for field_name, value in positive_fields.items():
+            if value <= 0:
+                raise ConfigurationError(
+                    f"Technology.{field_name} must be positive, got {value}"
+                )
+        if self.mobility_theta < 0:
+            raise ConfigurationError(
+                "Technology.mobility_theta must be non-negative"
+            )
+        if not 0 <= self.metal_cap_spread < 1:
+            raise ConfigurationError(
+                "Technology.metal_cap_spread must lie in [0, 1)"
+            )
+        if self.nmos_vth >= self.supply_voltage:
+            raise ConfigurationError(
+                "NMOS threshold at or above the supply leaves no headroom"
+            )
+
+    def scaled_supply(self, fraction: float) -> "Technology":
+        """Return a copy with the supply scaled by ``fraction``.
+
+        Used in supply-sensitivity studies (the bandgap and bias circuits
+        should hold performance over +-10% supply).
+        """
+        if fraction <= 0:
+            raise ConfigurationError("supply scale fraction must be positive")
+        return replace(self, supply_voltage=self.supply_voltage * fraction)
+
+
+@dataclass(frozen=True)
+class DigitalGateModel:
+    """First-order energy model for the on-chip digital correction logic.
+
+    The delay-and-correction logic (paper Fig. 1) is plain static CMOS;
+    its power is C_eff * VDD^2 * f and is a small part of the 97 mW
+    budget, but the power model accounts for it explicitly.
+
+    Attributes:
+        switched_capacitance: total effective switched capacitance of the
+            correction logic per conversion [F].
+        leakage_current: total standby leakage [A].
+    """
+
+    switched_capacitance: float = 9.0e-12
+    leakage_current: float = 40e-6
+
+    def __post_init__(self) -> None:
+        if self.switched_capacitance < 0 or self.leakage_current < 0:
+            raise ConfigurationError(
+                "digital gate model parameters must be non-negative"
+            )
+
+    def power(self, supply_voltage: float, clock_frequency: float) -> float:
+        """Dynamic + leakage power at the given supply and clock [W]."""
+        if supply_voltage <= 0 or clock_frequency < 0:
+            raise ConfigurationError(
+                "supply must be positive and clock non-negative"
+            )
+        dynamic = (
+            self.switched_capacitance * supply_voltage**2 * clock_frequency
+        )
+        return dynamic + self.leakage_current * supply_voltage
+
+
+#: Default technology instance shared by configuration builders.
+TSMC018_DIGITAL = Technology()
+
+
+def default_technology() -> Technology:
+    """Return the library's default 0.18 um digital CMOS technology."""
+    return TSMC018_DIGITAL

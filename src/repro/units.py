@@ -1,0 +1,126 @@
+"""Physical constants, unit multipliers and engineering-notation helpers.
+
+Everything in the library works in base SI units (volts, amperes, seconds,
+farads, hertz, watts).  The constants below make configuration code read
+like a datasheet (``110 * MEGA`` samples per second, ``1.6 * PICO`` farads)
+and :func:`eng` renders values back into engineering notation for reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- physical constants ----------------------------------------------------
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Reference junction temperature used for noise budgets [K] (27 C).
+ROOM_TEMPERATURE = 300.15
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: kT at room temperature [J]; the quantity that sets kT/C noise.
+KT_ROOM = BOLTZMANN * ROOM_TEMPERATURE
+
+# --- SI multipliers ---------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+
+def eng(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` in engineering notation.
+
+    >>> eng(97e-3, "W")
+    '97mW'
+    >>> eng(1.6e-12, "F")
+    '1.6pF'
+    >>> eng(0.0, "V")
+    '0V'
+
+    Args:
+        value: quantity in base SI units.
+        unit: unit symbol appended after the SI prefix.
+        digits: significant digits kept in the mantissa.
+
+    Returns:
+        A compact human-readable string such as ``"110MHz"``.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            mantissa = value / scale
+            text = f"{mantissa:.{digits}g}"
+            return f"{text}{prefix}{unit}"
+    # Below 1e-18: fall back to scientific notation.
+    return f"{value:.{digits}g}{unit}"
+
+
+def db(power_ratio: float) -> float:
+    """Convert a power ratio to decibels (10*log10)."""
+    if power_ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {power_ratio}")
+    return 10.0 * math.log10(power_ratio)
+
+
+def db_amplitude(amplitude_ratio: float) -> float:
+    """Convert an amplitude ratio to decibels (20*log10)."""
+    if amplitude_ratio <= 0:
+        raise ValueError(
+            f"amplitude ratio must be positive, got {amplitude_ratio}"
+        )
+    return 20.0 * math.log10(amplitude_ratio)
+
+
+def undb(decibels: float) -> float:
+    """Convert decibels back to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def undb_amplitude(decibels: float) -> float:
+    """Convert decibels back to an amplitude ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    kelvin = temp_c + 273.15
+    if kelvin < 0:
+        raise ValueError(f"temperature below absolute zero: {temp_c}C")
+    return kelvin
+
+
+def enob_from_sndr(sndr_db: float) -> float:
+    """Effective number of bits from SNDR via ENOB = (SNDR - 1.76)/6.02."""
+    return (sndr_db - 1.76) / 6.02
+
+
+def sndr_from_enob(enob_bits: float) -> float:
+    """Inverse of :func:`enob_from_sndr`."""
+    return enob_bits * 6.02 + 1.76

@@ -1,0 +1,9 @@
+"""Package version information."""
+
+__version__ = "1.0.0"
+
+#: Identifier of the paper this package reproduces.
+PAPER = (
+    "A 97mW 110MS/s 12b Pipeline ADC Implemented in 0.18um Digital CMOS, "
+    "T. N. Andersen et al., Nordic Semiconductor, DATE 2004"
+)

@@ -1,0 +1,68 @@
+"""Tests for repro.analog.bandgap."""
+
+import pytest
+
+from repro.analog.bandgap import BandgapReference
+from repro.errors import ConfigurationError
+from repro.technology.corners import Corner, OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def bandgap():
+    return BandgapReference()
+
+
+class TestBandgap:
+    def test_nominal_voltage_at_trim(self, bandgap, technology):
+        point = OperatingPoint(technology=technology, temperature_c=45.0)
+        assert bandgap.voltage(point) == pytest.approx(1.20, abs=1e-6)
+
+    def test_curvature_small_over_military_range(self, bandgap, technology):
+        """'Near independent of variations in ... temperature' — the
+        bandgap moves a few millivolts over -40..125 C."""
+        voltages = [
+            bandgap.voltage(
+                OperatingPoint(technology=technology, temperature_c=t)
+            )
+            for t in (-40, 0, 27, 85, 125)
+        ]
+        assert max(voltages) - min(voltages) < 20e-3
+
+    def test_curvature_is_concave(self, bandgap, technology):
+        """Output peaks at the trim temperature (negative curvature)."""
+        apex = bandgap.voltage(
+            OperatingPoint(technology=technology, temperature_c=45.0)
+        )
+        cold = bandgap.voltage(
+            OperatingPoint(technology=technology, temperature_c=-40.0)
+        )
+        hot = bandgap.voltage(
+            OperatingPoint(technology=technology, temperature_c=125.0)
+        )
+        assert apex >= cold and apex >= hot
+
+    def test_line_sensitivity(self, bandgap, technology):
+        nominal = bandgap.voltage(OperatingPoint(technology=technology))
+        high = bandgap.voltage(
+            OperatingPoint(technology=technology, supply_scale=1.1)
+        )
+        assert abs(high - nominal) == pytest.approx(
+            bandgap.line_sensitivity * 0.18, rel=1e-6
+        )
+
+    def test_corner_offsets_symmetric(self, bandgap, technology):
+        ff = bandgap.voltage(
+            OperatingPoint(technology=technology, corner=Corner.FF)
+        )
+        ss = bandgap.voltage(
+            OperatingPoint(technology=technology, corner=Corner.SS)
+        )
+        tt = bandgap.voltage(OperatingPoint(technology=technology))
+        assert ff - tt == pytest.approx(tt - ss, rel=1e-6)
+
+    def test_power_is_milliwatt_scale(self, bandgap, operating_point):
+        assert 0.5e-3 < bandgap.power(operating_point) < 5e-3
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(ConfigurationError):
+            BandgapReference(nominal_voltage=-1.0)

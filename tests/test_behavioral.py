@@ -1,0 +1,75 @@
+"""Tests for repro.core.behavioral."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.behavioral import IdealAdc, ideal_transfer_codes
+from repro.errors import ConfigurationError
+
+
+class TestIdealTransfer:
+    def test_endpoints(self):
+        codes = ideal_transfer_codes(np.array([-1.0, 0.9999]), 1.0, 12)
+        assert codes[0] == 0
+        assert codes[1] == 4095
+
+    def test_clipping(self):
+        codes = ideal_transfer_codes(np.array([-5.0, 5.0]), 1.0, 12)
+        assert list(codes) == [0, 4095]
+
+    def test_mid_rise(self):
+        codes = ideal_transfer_codes(np.array([-1e-12, 1e-12]), 1.0, 12)
+        assert list(codes) == [2047, 2048]
+
+    def test_uniform_bins(self):
+        v = np.linspace(-1, 1 - 1e-9, 4096 * 8)
+        counts = np.bincount(ideal_transfer_codes(v, 1.0, 12), minlength=4096)
+        assert counts.min() == counts.max()
+
+    @given(st.floats(min_value=-2, max_value=2))
+    def test_monotone(self, v):
+        a = ideal_transfer_codes(np.array([v]), 1.0, 12)[0]
+        b = ideal_transfer_codes(np.array([v + 1e-6]), 1.0, 12)[0]
+        assert b >= a
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            ideal_transfer_codes(np.array([0.0]), -1.0, 12)
+        with pytest.raises(ConfigurationError):
+            ideal_transfer_codes(np.array([0.0]), 1.0, 0)
+
+
+class TestIdealAdc:
+    def test_lsb(self):
+        assert IdealAdc().lsb == pytest.approx(2 / 4096)
+
+    def test_reconstruct_inverts_within_half_lsb(self):
+        adc = IdealAdc()
+        v = np.linspace(-0.999, 0.999, 997)
+        codes = adc.convert_voltages(v)
+        recovered = adc.reconstruct(codes)
+        assert np.max(np.abs(recovered - v)) <= adc.lsb / 2 + 1e-12
+
+    def test_quantization_noise(self):
+        adc = IdealAdc()
+        assert adc.quantization_noise_rms() == pytest.approx(
+            adc.lsb / np.sqrt(12)
+        )
+
+    def test_quantization_snr_is_74db(self):
+        """The 12-bit ceiling: 6.02*12 + 1.76 = 74 dB."""
+        adc = IdealAdc()
+        signal_rms = adc.vref / np.sqrt(2)
+        snr = 20 * np.log10(signal_rms / adc.quantization_noise_rms())
+        assert snr == pytest.approx(74.0, abs=0.1)
+
+    def test_convert_uses_signal_protocol(self):
+        from repro.signal.generators import SineGenerator
+
+        adc = IdealAdc()
+        tone = SineGenerator(frequency=1e6, amplitude=0.5)
+        codes = adc.convert(tone, np.array([0.0, 0.25e-6]))
+        assert codes[0] == 2048
+        assert codes[1] > 2048

@@ -1,0 +1,147 @@
+"""Tests for repro.analog.bias — eq. (1) and its ceiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analog.bias import FixedBiasGenerator, ScBiasCurrentGenerator
+from repro.errors import ConfigurationError, ModelDomainError
+from repro.technology.corners import OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ScBiasCurrentGenerator()
+
+
+class TestEquationOne:
+    def test_ideal_current_formula(self, generator, operating_point):
+        """I = C_B * f_CR * V_BIAS, the paper's eq. (1)."""
+        current = generator.ideal_master_current(110e6, operating_point)
+        assert current == pytest.approx(1.5e-12 * 110e6 * 0.8, rel=1e-6)
+
+    def test_linear_in_rate_below_ceiling(self, generator, operating_point):
+        i20 = generator.master_current(20e6, operating_point)
+        i40 = generator.master_current(40e6, operating_point)
+        assert i40 == pytest.approx(2 * i20, rel=0.01)
+
+    def test_tracks_capacitor_scale(self, generator, technology):
+        """The self-compensation property: a +20% capacitor die biases
+        itself +20% harder."""
+        nominal = generator.master_current(
+            60e6, OperatingPoint(technology=technology)
+        )
+        slow = generator.master_current(
+            60e6, OperatingPoint(technology=technology, cap_scale=1.2)
+        )
+        assert slow == pytest.approx(1.2 * nominal, rel=0.02)
+
+    def test_equivalent_resistance(self, generator, operating_point):
+        r = generator.equivalent_resistance(110e6, operating_point)
+        assert r == pytest.approx(1.0 / (1.5e-12 * 110e6), rel=1e-3)
+
+    @given(st.floats(min_value=1e6, max_value=1e8))
+    def test_never_exceeds_ideal_or_ceiling(self, rate):
+        generator = ScBiasCurrentGenerator()
+        point = OperatingPoint()
+        actual = generator.master_current(rate, point)
+        ideal = generator.ideal_master_current(rate, point)
+        assert 0 < actual <= ideal + 1e-18
+        assert actual < generator.max_master_current
+
+    def test_rejects_nonpositive_rate(self, generator, operating_point):
+        with pytest.raises(ModelDomainError):
+            generator.master_current(0.0, operating_point)
+
+
+class TestHeadroomCeiling:
+    def test_saturates_at_high_rate(self, generator, operating_point):
+        very_fast = generator.master_current(400e6, operating_point)
+        assert very_fast < generator.max_master_current * 1.001
+
+    def test_saturation_onset_rate(self, generator, operating_point):
+        onset = generator.saturation_onset_rate(operating_point)
+        # 95% tracking lost somewhere beyond the nominal rate.
+        assert 120e6 < onset < 400e6
+        report_before = generator.evaluate(onset * 0.8, operating_point)
+        report_after = generator.evaluate(onset * 1.3, operating_point)
+        assert not report_before.saturated
+        assert report_after.saturated
+
+
+class TestEvaluate:
+    def test_stage_currents_follow_mirror_ratios(self, operating_point):
+        generator = ScBiasCurrentGenerator(
+            mirror_ratios=(20.0, 13.3, 6.7), mirror_mismatch_sigma=0.0
+        )
+        report = generator.evaluate(110e6, operating_point)
+        ratios = report.stage_currents / report.master_current
+        assert ratios == pytest.approx([20.0, 13.3, 6.7])
+
+    def test_mirror_mismatch_draws(self, operating_point):
+        generator = ScBiasCurrentGenerator(mirror_mismatch_sigma=0.05)
+        a = generator.evaluate(110e6, operating_point, np.random.default_rng(1))
+        b = generator.evaluate(110e6, operating_point, np.random.default_rng(2))
+        assert not np.allclose(a.stage_currents, b.stage_currents)
+
+    def test_supply_current_includes_housekeeping(self, generator, operating_point):
+        report = generator.evaluate(110e6, operating_point)
+        assert report.supply_current == pytest.approx(
+            generator.housekeeping_current + report.master_current
+        )
+
+    def test_current_noise_shape_and_mean(self, generator, operating_point, rng):
+        report = generator.evaluate(110e6, operating_point)
+        noise = generator.current_noise(report.stage_currents, 5000, rng)
+        assert noise.shape == (5000, 10)
+        assert noise.mean() == pytest.approx(1.0, abs=1e-3)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            ScBiasCurrentGenerator(bias_capacitance=0.0)
+        with pytest.raises(ConfigurationError):
+            ScBiasCurrentGenerator(mirror_ratios=())
+        with pytest.raises(ConfigurationError):
+            ScBiasCurrentGenerator(ripple_fraction=0.5)
+
+
+class TestFixedBias:
+    def test_rate_independent(self, operating_point):
+        fixed = FixedBiasGenerator()
+        slow = fixed.evaluate(20e6, operating_point)
+        fast = fixed.evaluate(140e6, operating_point)
+        assert slow.master_current == pytest.approx(fast.master_current)
+
+    def test_ignores_capacitor_scale(self, technology):
+        """The fixed generator's flaw: it cannot see the die's actual
+        capacitance."""
+        fixed = FixedBiasGenerator()
+        nominal = fixed.evaluate(
+            110e6, OperatingPoint(technology=technology)
+        )
+        slow_cap = fixed.evaluate(
+            110e6, OperatingPoint(technology=technology, cap_scale=1.2)
+        )
+        assert slow_cap.master_current == pytest.approx(
+            nominal.master_current
+        )
+
+    def test_carries_worst_case_margin(self, operating_point):
+        """Sized at the max rate times the spread margin — always more
+        current than the SC generator needs at nominal."""
+        sc = ScBiasCurrentGenerator()
+        fixed = FixedBiasGenerator(design_rate=140e6, template=sc)
+        sc_current = sc.evaluate(110e6, operating_point).master_current
+        fixed_current = fixed.evaluate(110e6, operating_point).master_current
+        assert fixed_current > 1.3 * sc_current
+
+    def test_no_ripple(self, operating_point, rng):
+        fixed = FixedBiasGenerator()
+        report = fixed.evaluate(110e6, operating_point)
+        noise = fixed.current_noise(report.stage_currents, 100, rng)
+        assert np.all(noise == 1.0)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ConfigurationError):
+            FixedBiasGenerator(design_margin=0.5)

@@ -1,0 +1,85 @@
+"""Tests for repro.core.calibration (the beyond-paper extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adc import PipelineAdc
+from repro.core.calibration import GainCalibration
+from repro.core.config import AdcConfig
+from repro.errors import CalibrationError, ConfigurationError
+from repro.signal.linearity import ramp_linearity
+
+
+@pytest.fixture(scope="module")
+def mismatched_adc():
+    """A die with exaggerated capacitor mismatch and the front end
+    bypassed, so the weight errors dominate everything else."""
+    from dataclasses import replace
+    from repro.technology.process import Technology
+
+    config = replace(
+        AdcConfig.paper_default(),
+        technology=Technology(metal_cap_matching=2.0e-7),
+        include_jitter=False,
+        include_reference_noise=False,
+        include_tracking=False,
+    )
+    return PipelineAdc(config, conversion_rate=110e6, seed=5)
+
+
+@pytest.fixture(scope="module")
+def calibration(mismatched_adc):
+    cal = GainCalibration(mismatched_adc, samples_per_code=24)
+    cal.calibrate()
+    return cal
+
+
+class TestGainCalibration:
+    def test_weights_require_calibrate(self, mismatched_adc):
+        fresh = GainCalibration(mismatched_adc)
+        with pytest.raises(CalibrationError):
+            _ = fresh.weights
+
+    def test_rejects_bad_config(self, mismatched_adc):
+        with pytest.raises(ConfigurationError):
+            GainCalibration(mismatched_adc, samples_per_code=1)
+        with pytest.raises(ConfigurationError):
+            GainCalibration(mismatched_adc, overdrive=0.5)
+
+    def test_fitted_weights_near_nominal(self, calibration):
+        nominal = calibration.nominal_weights()
+        fitted = calibration.weights
+        # Same ballpark (weight errors are sub-percent even with the
+        # exaggerated mismatch)...
+        assert fitted[:10] == pytest.approx(nominal[:10], rel=0.05, abs=0.5)
+        # ... but measurably different: the mismatch must be visible.
+        assert np.max(np.abs(calibration.weight_errors()[:10])) > 0.3
+
+    def test_stage1_weight_error_matches_mismatch(self, calibration, mismatched_adc):
+        """The fitted stage-1 weight error tracks the die's actual
+        C1/C2 ratio error (weight ~ 1024 * (1 + delta/2 + ...))."""
+        delta = mismatched_adc.stages[0].mdac.ratio_error
+        error = calibration.weight_errors()[0]
+        assert np.sign(error) == np.sign(delta) or abs(error) < 0.3
+        assert abs(error) < 1024 * abs(delta) * 2
+
+    def test_calibration_reduces_inl(self, calibration, mismatched_adc):
+        """Reconstructing with fitted weights must cut the INL of the
+        heavily mismatched die."""
+        ramp = np.linspace(-1.02, 1.02, 4096 * 24)
+        result = mismatched_adc.convert_samples(ramp, noise_seed=55)
+        raw = ramp_linearity(result.codes, 4096)
+        corrected_codes = calibration.reconstruct(
+            result.stage_codes, result.flash_codes
+        )
+        corrected = ramp_linearity(corrected_codes, 4096)
+
+        raw_peak = max(abs(raw.inl_min), abs(raw.inl_max))
+        corrected_peak = max(abs(corrected.inl_min), abs(corrected.inl_max))
+        assert raw_peak > 2.0  # the exaggerated mismatch is really there
+        assert corrected_peak < 0.5 * raw_peak
+
+    def test_reconstruct_output_range(self, calibration, mismatched_adc):
+        result = mismatched_adc.convert_samples(np.linspace(-1.2, 1.2, 500))
+        codes = calibration.reconstruct(result.stage_codes, result.flash_codes)
+        assert codes.min() >= 0 and codes.max() <= 4095

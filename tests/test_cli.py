@@ -1,0 +1,34 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import available_experiments
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in available_experiments():
+            assert experiment_id in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_quick_experiment(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Power dissipation" in out
+        assert "PASS" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig4", "fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig7" in out
+
+    def test_parser_quick_flag(self):
+        args = build_parser().parse_args(["fig4", "--quick"])
+        assert args.quick
+        assert args.experiments == ["fig4"]

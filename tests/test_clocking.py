@@ -1,0 +1,106 @@
+"""Tests for repro.analog.clocking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog.clocking import ClockGenerator, ClockingScheme
+from repro.errors import ConfigurationError, ModelDomainError
+
+
+class TestTiming:
+    def test_local_scheme_has_no_non_overlap(self):
+        clock = ClockGenerator(scheme=ClockingScheme.LOCAL)
+        timing = clock.timing(110e6)
+        assert timing.non_overlap_time == 0.0
+
+    def test_non_overlap_scheme_loses_time(self):
+        local = ClockGenerator(scheme=ClockingScheme.LOCAL)
+        conventional = ClockGenerator(scheme=ClockingScheme.NON_OVERLAP)
+        t_local = local.timing(110e6)
+        t_conv = conventional.timing(110e6)
+        assert t_conv.amplification_time < t_local.amplification_time
+        assert t_conv.non_overlap_time > 0
+
+    def test_paper_budget_at_110msps(self):
+        """Half period 4.55 ns minus the 1.6 ns decision overhead."""
+        timing = ClockGenerator().timing(110e6)
+        assert timing.period == pytest.approx(1 / 110e6)
+        assert timing.amplification_time == pytest.approx(
+            0.5 / 110e6 - 1.6e-9, rel=1e-6
+        )
+
+    def test_window_shrinks_with_rate(self):
+        clock = ClockGenerator()
+        windows = [
+            clock.timing(f).amplification_time
+            for f in (20e6, 80e6, 140e6)
+        ]
+        assert windows == sorted(windows, reverse=True)
+
+    def test_raises_when_no_window_left(self):
+        clock = ClockGenerator()
+        with pytest.raises(ModelDomainError):
+            clock.timing(400e6)
+
+    def test_max_conversion_rate_consistent(self):
+        clock = ClockGenerator()
+        limit = clock.max_conversion_rate()
+        clock.timing(limit * 0.99)
+        with pytest.raises(ModelDomainError):
+            clock.timing(limit * 1.01)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ModelDomainError):
+            ClockGenerator().timing(0.0)
+
+
+class TestJitter:
+    def test_sample_times_statistics(self, rng):
+        clock = ClockGenerator(aperture_jitter_rms=0.35e-12)
+        times = clock.sample_times(20000, 110e6, rng)
+        deviation = times - np.arange(20000) / 110e6
+        assert deviation.std() == pytest.approx(0.35e-12, rel=0.05)
+
+    def test_zero_jitter_is_uniform_grid(self, rng):
+        clock = ClockGenerator(aperture_jitter_rms=0.0)
+        times = clock.sample_times(100, 110e6, rng)
+        assert np.allclose(np.diff(times), 1 / 110e6)
+
+    def test_jitter_limited_snr_formula(self):
+        clock = ClockGenerator(aperture_jitter_rms=0.35e-12)
+        snr = clock.jitter_limited_snr_db(100e6)
+        expected = -20 * math.log10(2 * math.pi * 100e6 * 0.35e-12)
+        assert snr == pytest.approx(expected)
+
+    def test_jitter_snr_wall_matches_paper_shape(self):
+        """The jitter wall sits comfortably above the 67 dB thermal SNR
+        at 10 MHz but approaches it near 100 MHz — exactly why Fig. 6's
+        SNR bends above 100 MHz."""
+        clock = ClockGenerator()
+        assert clock.jitter_limited_snr_db(10e6) > 85
+        assert 70 < clock.jitter_limited_snr_db(100e6) < 80
+
+    def test_infinite_snr_without_jitter(self):
+        clock = ClockGenerator(aperture_jitter_rms=0.0)
+        assert math.isinf(clock.jitter_limited_snr_db(1e8))
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ConfigurationError):
+            ClockGenerator(aperture_jitter_rms=-1.0)
+        with pytest.raises(ConfigurationError):
+            ClockGenerator().sample_times(0, 1e8, rng)
+        with pytest.raises(ModelDomainError):
+            ClockGenerator().jitter_limited_snr_db(0.0)
+
+
+class TestPower:
+    def test_scales_with_rate(self):
+        clock = ClockGenerator()
+        assert clock.power(110e6, 1.8) == pytest.approx(
+            5.5 * clock.power(20e6, 1.8)
+        )
+
+    def test_magnitude_mw_scale(self):
+        assert 1e-3 < ClockGenerator().power(110e6, 1.8) < 10e-3

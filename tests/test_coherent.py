@@ -1,0 +1,67 @@
+"""Tests for repro.signal.coherent."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.signal.coherent import alias_bin, coherent_bin, coherent_frequency
+
+
+class TestCoherentBin:
+    def test_near_target(self):
+        m = coherent_bin(10e6, 110e6, 8192)
+        assert abs(m * 110e6 / 8192 - 10e6) < 2 * 110e6 / 8192
+
+    def test_odd_and_coprime(self):
+        for target in (1e6, 10e6, 37e6, 54e6):
+            m = coherent_bin(target, 110e6, 8192)
+            assert m % 2 == 1
+            assert math.gcd(m, 8192) == 1
+
+    def test_super_nyquist_allowed(self):
+        """Fig. 6 undersamples: a 150 MHz tone at 110 MS/s."""
+        m = coherent_bin(150e6, 110e6, 8192)
+        assert m * 110e6 / 8192 > 110e6 / 2
+        assert alias_bin(m, 8192) >= 3
+
+    def test_rejects_silly_targets(self):
+        with pytest.raises(AnalysisError):
+            coherent_bin(0.0, 110e6, 8192)
+        with pytest.raises(AnalysisError):
+            coherent_bin(1e12, 110e6, 8192)
+
+    def test_rejects_tiny_records(self):
+        with pytest.raises(AnalysisError):
+            coherent_bin(1e6, 110e6, 4)
+
+    @given(st.floats(min_value=1e6, max_value=3e8))
+    def test_properties_hold_generally(self, target):
+        m = coherent_bin(target, 110e6, 4096)
+        assert m % 2 == 1
+        assert math.gcd(m, 4096) == 1
+        assert alias_bin(m, 4096) >= 3
+
+
+class TestAliasBin:
+    def test_in_first_zone_identity(self):
+        assert alias_bin(100, 8192) == 100
+
+    def test_second_zone_mirrors(self):
+        assert alias_bin(8192 - 100, 8192) == 100
+
+    def test_third_zone_wraps(self):
+        assert alias_bin(8192 + 100, 8192) == 100
+
+
+class TestCoherentFrequency:
+    def test_close_to_target(self):
+        f = coherent_frequency(10e6, 110e6, 8192)
+        assert abs(f - 10e6) < 30e3
+
+    def test_exactly_representable(self):
+        f = coherent_frequency(10e6, 110e6, 8192)
+        cycles = f * 8192 / 110e6
+        assert cycles == pytest.approx(round(cycles), abs=1e-9)

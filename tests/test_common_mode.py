@@ -1,0 +1,33 @@
+"""Tests for repro.analog.common_mode."""
+
+import pytest
+
+from repro.analog.common_mode import CommonModeGenerator
+from repro.errors import ConfigurationError
+from repro.technology.corners import OperatingPoint
+
+
+class TestCommonModeGenerator:
+    def test_mid_supply_nominal(self, operating_point):
+        cm = CommonModeGenerator(static_error=0.0)
+        assert cm.voltage(operating_point) == pytest.approx(0.9)
+
+    def test_static_error_applied(self, operating_point):
+        cm = CommonModeGenerator(static_error=5e-3)
+        assert cm.voltage(operating_point) == pytest.approx(0.905)
+
+    def test_tracks_supply(self, technology):
+        cm = CommonModeGenerator(static_error=0.0)
+        low = cm.voltage(OperatingPoint(technology=technology, supply_scale=0.9))
+        assert low == pytest.approx(0.81)
+
+    def test_power_positive(self, operating_point):
+        assert CommonModeGenerator().power(operating_point) > 0
+
+    def test_rejects_off_center_fraction(self):
+        with pytest.raises(ConfigurationError):
+            CommonModeGenerator(fraction_of_supply=0.05)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ConfigurationError):
+            CommonModeGenerator(quiescent_current=-1e-3)

@@ -1,0 +1,138 @@
+"""Tests for repro.core.correction — the RSD redundancy algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.behavioral import ideal_transfer_codes
+from repro.core.correction import DigitalCorrection
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def correction():
+    return DigitalCorrection(n_stages=10, flash_bits=2)
+
+
+def ideal_chain(v, thresholds_low, thresholds_high, vref=1.0):
+    """Run the exact residue recursion with per-stage thresholds."""
+    codes = []
+    x = v
+    for t_low, t_high in zip(thresholds_low, thresholds_high):
+        if x < t_low:
+            d = -1
+        elif x > t_high:
+            d = 1
+        else:
+            d = 0
+        codes.append(d)
+        x = 2 * x - d * vref
+    # 2-bit flash on the final residue.
+    flash = int(np.clip(np.floor((x / vref + 1.0) * 2), 0, 3))
+    return codes, flash
+
+
+class TestCombine:
+    def test_resolution(self, correction):
+        assert correction.resolution == 12
+        assert correction.n_codes == 4096
+
+    def test_full_scale_extremes(self, correction):
+        low = correction.combine(np.full((1, 10), -1), np.array([0]))
+        high = correction.combine(np.full((1, 10), 1), np.array([3]))
+        assert low[0] == 0
+        assert high[0] == 4095
+
+    def test_mid_scale(self, correction):
+        mid = correction.combine(np.zeros((1, 10), dtype=int), np.array([2]))
+        assert abs(mid[0] - 2048) <= 2
+
+    def test_matches_ideal_quantizer_with_nominal_thresholds(self, correction):
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(-0.999, 0.999, 300):
+            codes, flash = ideal_chain(
+                v, [-0.25] * 10, [0.25] * 10
+            )
+            word = correction.combine(
+                np.array([codes]), np.array([flash])
+            )[0]
+            oracle = ideal_transfer_codes(np.array([v]), 1.0, 12)[0]
+            assert abs(word - oracle) <= 1
+
+    @settings(max_examples=60)
+    @given(
+        st.floats(min_value=-0.99, max_value=0.99),
+        st.lists(
+            st.floats(min_value=-0.2, max_value=0.2), min_size=10, max_size=10
+        ),
+    )
+    def test_redundancy_absorbs_threshold_errors(self, v, offsets):
+        """THE property of the 1.5-bit architecture: any comparator
+        threshold error smaller than Vref/4 changes the stage decisions
+        but NOT the corrected output."""
+        correction = DigitalCorrection(n_stages=10, flash_bits=2)
+        nominal_codes, nominal_flash = ideal_chain(
+            v, [-0.25] * 10, [0.25] * 10
+        )
+        skewed_codes, skewed_flash = ideal_chain(
+            v,
+            [-0.25 + o for o in offsets],
+            [0.25 + o for o in offsets],
+        )
+        nominal = correction.combine(
+            np.array([nominal_codes]), np.array([nominal_flash])
+        )[0]
+        skewed = correction.combine(
+            np.array([skewed_codes]), np.array([skewed_flash])
+        )[0]
+        assert abs(int(nominal) - int(skewed)) <= 1
+
+    def test_rejects_bad_shapes(self, correction):
+        with pytest.raises(ConfigurationError):
+            correction.combine(np.zeros((4, 9), dtype=int), np.zeros(4, dtype=int))
+        with pytest.raises(ConfigurationError):
+            correction.combine(np.zeros((4, 10), dtype=int), np.zeros(3, dtype=int))
+
+    def test_rejects_out_of_range_codes(self, correction):
+        bad = np.zeros((1, 10), dtype=int)
+        bad[0, 0] = 2
+        with pytest.raises(ConfigurationError):
+            correction.combine(bad, np.array([0]))
+        with pytest.raises(ConfigurationError):
+            correction.combine(np.zeros((1, 10), dtype=int), np.array([7]))
+
+    def test_clips_overrange(self, correction):
+        """All-ones stages with max flash already hit the top code; the
+        clip guards impairment-driven overflow."""
+        word = correction.combine(np.full((1, 10), 1), np.array([3]))
+        assert word[0] == 4095
+
+
+class TestAlignment:
+    def test_latency_cycles(self, correction):
+        assert correction.latency_cycles == 6
+
+    def test_align_strips_fill(self, correction):
+        codes = np.zeros((20, 10), dtype=int)
+        flash = np.arange(20)
+        aligned_codes, aligned_flash = correction.align(codes, flash % 4)
+        assert aligned_codes.shape == (14, 10)
+        assert aligned_flash[0] == correction.latency_cycles % 4
+
+    def test_align_rejects_short_streams(self, correction):
+        with pytest.raises(ConfigurationError):
+            correction.align(np.zeros((5, 10), dtype=int), np.zeros(5, dtype=int))
+
+
+class TestDecode:
+    def test_decode_to_voltage_centers(self, correction):
+        v = correction.decode_to_voltage(np.array([0, 2048, 4095]), 1.0)
+        lsb = 2.0 / 4096
+        assert v[0] == pytest.approx(-1.0 + lsb / 2)
+        assert v[1] == pytest.approx(lsb / 2)
+        assert v[2] == pytest.approx(1.0 - lsb / 2)
+
+    def test_decode_rejects_bad_vref(self, correction):
+        with pytest.raises(ConfigurationError):
+            correction.decode_to_voltage(np.array([0]), 0.0)

@@ -1,0 +1,69 @@
+"""Tests for repro.evaluation.datasheet."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.datasheet import Datasheet, DatasheetLine, characterize
+
+
+@pytest.fixture(scope="module")
+def datasheet(paper_config):
+    return characterize(
+        paper_config, n_dies=3, n_samples=2048, samples_per_code=16
+    )
+
+
+class TestCharacterize:
+    def test_line_set(self, datasheet):
+        names = {line.parameter for line in datasheet.lines}
+        for expected in (
+            "SNR (f_in=10MHz)",
+            "SNDR (f_in=10MHz)",
+            "ENOB",
+            "|DNL| peak",
+            "Power",
+            "Area",
+        ):
+            assert expected in names
+
+    def test_min_typ_max_ordered(self, datasheet):
+        for line in datasheet.lines:
+            if math.isnan(line.minimum) or math.isnan(line.maximum):
+                continue
+            assert line.minimum <= line.typical <= line.maximum
+
+    def test_bands_in_physical_range(self, datasheet):
+        by_name = {line.parameter: line for line in datasheet.lines}
+        assert 63 < by_name["SNR (f_in=10MHz)"].typical < 69
+        assert 9.8 < by_name["ENOB"].typical < 11
+        assert 0 < by_name["|DNL| peak"].typical < 1.5
+
+    def test_power_and_area_typicals(self, datasheet):
+        by_name = {line.parameter: line for line in datasheet.lines}
+        assert by_name["Power"].typical == pytest.approx(97, rel=0.06)
+        assert by_name["Area"].typical == pytest.approx(0.88, abs=0.1)
+
+    def test_render(self, datasheet):
+        text = datasheet.render()
+        assert "min" in text and "typ" in text and "max" in text
+        assert "Electrical characteristics" in text
+
+    def test_rejects_single_die(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            characterize(paper_config, n_dies=1)
+
+
+class TestDatasheetLine:
+    def test_nan_rendered_as_dash(self):
+        line = DatasheetLine(
+            parameter="Resolution",
+            unit="bit",
+            minimum=float("nan"),
+            typical=12.0,
+            maximum=float("nan"),
+        )
+        cells = line.cells()
+        assert cells[1] == "-" and cells[3] == "-"
+        assert cells[2] == "12.00"

@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example must run and tell its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys=capsys)
+    assert "dynamic" in out and "SNDR" in out
+    assert "paper" in out
+
+
+def test_power_scaling_ip_block(capsys):
+    out = run_example("power_scaling_ip_block.py", capsys=capsys)
+    assert "ultrasound front-end" in out
+    assert "fixed worst-case bias" in out
+    assert "% saving" in out or "saving" in out
+
+
+def test_ultrasound_imaging(capsys):
+    out = run_example("ultrasound_imaging.py", capsys=capsys)
+    assert "weak deep echo" in out
+    assert "beamformer" in out
+
+
+def test_communication_if_sampling(capsys):
+    out = run_example("communication_if_sampling.py", capsys=capsys)
+    assert "IMD3" in out
+    assert "3rd Nyquist IF" in out
+
+
+def test_montecarlo_yield(capsys):
+    out = run_example("montecarlo_yield.py", argv=["6"], capsys=capsys)
+    assert "yield against" in out
+    assert "ENOB" in out

@@ -1,0 +1,127 @@
+"""Failure-injection tests.
+
+A model is only trustworthy if breaking the converter *visibly* breaks
+the measurements: these tests wound one component at a time and assert
+the wound shows up in the right metric (and nowhere it shouldn't).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.adc import PipelineAdc
+from repro.core.config import AdcConfig
+from repro.devices.comparator import ComparatorParameters
+from repro.errors import ModelDomainError
+from repro.signal.generators import SineGenerator
+from repro.signal.linearity import ramp_linearity
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.technology.process import Technology
+
+
+def dynamic(config, seed=1, n=2048, fin=10e6, rate=110e6):
+    adc = PipelineAdc(config, conversion_rate=rate, seed=seed)
+    tone = SineGenerator.coherent(fin, rate, n, amplitude=0.995)
+    return SpectrumAnalyzer().analyze(adc.convert(tone, n).codes, rate)
+
+
+def static(config, seed=1, rate=110e6):
+    adc = PipelineAdc(config, conversion_rate=rate, seed=seed)
+    ramp = np.linspace(-1.02, 1.02, 4096 * 20)
+    return ramp_linearity(adc.convert_samples(ramp).codes, 4096)
+
+
+class TestComparatorFailures:
+    def test_dead_comparator_kills_linearity(self, paper_config):
+        """An ADSC comparator offset beyond the Vref/4 redundancy margin
+        must produce missing codes / gross INL."""
+        broken = replace(
+            paper_config,
+            comparator=ComparatorParameters(offset_sigma=0.35),
+        )
+        result = static(broken, seed=3)
+        healthy = static(paper_config, seed=3)
+        broken_peak = max(abs(result.inl_min), abs(result.inl_max))
+        healthy_peak = max(abs(healthy.inl_min), abs(healthy.inl_max))
+        assert broken_peak > 3 * healthy_peak or result.missing_codes
+
+    def test_noisy_comparators_are_free(self, paper_config):
+        """Comparator noise of several millivolts costs nothing — the
+        redundancy exists exactly for this."""
+        noisy = replace(
+            paper_config,
+            comparator=ComparatorParameters(offset_sigma=8e-3, noise_rms=5e-3),
+        )
+        assert dynamic(noisy).sndr_db > dynamic(paper_config).sndr_db - 1.0
+
+
+class TestReferenceFailures:
+    def test_collapsed_reference_buffer(self, paper_config):
+        """A reference buffer with huge output impedance sags under the
+        code-dependent load: full-scale shrinks and SNDR drops."""
+        from repro.analog.references import ReferenceBuffer
+
+        weak = replace(
+            paper_config,
+            reference=ReferenceBuffer(output_impedance=400.0),
+        )
+        metrics = dynamic(weak)
+        # The delivered reference shrank by ~9%: the near-full-scale
+        # tone now clips, wrecking SNDR.
+        assert metrics.sndr_db < dynamic(paper_config).sndr_db - 3.0
+
+    def test_noisy_reference_costs_snr(self, paper_config):
+        from repro.analog.references import ReferenceBuffer
+
+        noisy = replace(
+            paper_config,
+            reference=ReferenceBuffer(noise_rms=1.2e-3),
+        )
+        assert dynamic(noisy).snr_db < dynamic(paper_config).snr_db - 2.0
+
+
+class TestClockFailures:
+    def test_terrible_jitter_destroys_high_frequency_snr(self, paper_config):
+        from repro.analog.clocking import ClockGenerator
+
+        shaky = replace(
+            paper_config,
+            clock=ClockGenerator(aperture_jitter_rms=5e-12),
+        )
+        high = dynamic(shaky, fin=50e6)
+        low = dynamic(shaky, fin=2e6)
+        assert high.snr_db < low.snr_db - 10.0
+
+    def test_overclocking_raises_cleanly(self, paper_config):
+        with pytest.raises(ModelDomainError):
+            PipelineAdc(paper_config, conversion_rate=320e6)
+
+
+class TestMismatchFailures:
+    def test_terrible_capacitors_show_in_dnl_and_sfdr(self, paper_config):
+        sloppy = replace(
+            paper_config,
+            technology=Technology(metal_cap_matching=5e-7),
+        )
+        lin = static(sloppy, seed=2)
+        assert max(abs(lin.dnl_min), abs(lin.dnl_max)) > 2.0
+        assert dynamic(sloppy, seed=2).sndr_db < 60.0
+
+
+class TestBiasFailures:
+    def test_starved_bias_collapses_settling(self, paper_config):
+        """Cutting every mirror ratio by 8x starves the opamps: GBW
+        drops ~3x and the converter cannot settle at 110 MS/s."""
+        starved = replace(paper_config, stage1_mirror_ratio=2.5)
+        metrics = dynamic(starved)
+        assert metrics.sndr_db < 50.0
+
+    def test_overbias_is_mostly_wasteful(self, paper_config):
+        """Raising the bias currents 50% burns power for almost nothing:
+        settling margin grows, but the higher overdrive costs a little
+        opamp DC gain, so SNDR moves by at most ~1 dB either way."""
+        hot = replace(paper_config, stage1_mirror_ratio=30.0)
+        assert dynamic(hot).sndr_db == pytest.approx(
+            dynamic(paper_config).sndr_db, abs=1.2
+        )

@@ -1,0 +1,62 @@
+"""Tests for repro.core.flash."""
+
+import numpy as np
+import pytest
+
+from repro.core.flash import FlashBackend
+from repro.devices.comparator import ComparatorParameters
+from repro.errors import ConfigurationError
+
+
+def clean():
+    return ComparatorParameters(
+        offset_sigma=0.0, noise_rms=0.0, hysteresis=0.0, metastability_window=0.0
+    )
+
+
+class TestFlashBackend:
+    def test_two_bit_thresholds(self, rng):
+        flash = FlashBackend(1.0, 2, clean(), np.random.default_rng(0))
+        v = np.array([-0.9, -0.4, 0.1, 0.9])
+        assert list(flash.decide(v, rng)) == [0, 1, 2, 3]
+
+    def test_boundaries(self, rng):
+        flash = FlashBackend(1.0, 2, clean(), np.random.default_rng(0))
+        v = np.array([-0.51, -0.49, -0.01, 0.01, 0.49, 0.51])
+        assert list(flash.decide(v, rng)) == [0, 1, 1, 2, 2, 3]
+
+    def test_n_levels(self):
+        assert FlashBackend(1.0, 2, clean(), np.random.default_rng(0)).n_levels == 4
+        assert FlashBackend(1.0, 3, clean(), np.random.default_rng(0)).n_levels == 8
+
+    def test_three_bit_uniform_bins(self, rng):
+        flash = FlashBackend(1.0, 3, clean(), np.random.default_rng(0))
+        v = np.linspace(-0.999, 0.999, 8000)
+        codes = flash.decide(v, rng)
+        counts = np.bincount(codes, minlength=8)
+        assert counts.min() > 0.9 * counts.mean()
+
+    def test_monotone_thermometer(self, rng):
+        flash = FlashBackend(
+            1.0, 2, ComparatorParameters(offset_sigma=20e-3),
+            np.random.default_rng(4),
+        )
+        v = np.linspace(-1, 1, 2000)
+        codes = flash.decide(v, rng)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_offsets_frozen(self, rng):
+        flash = FlashBackend(
+            1.0, 2, ComparatorParameters(offset_sigma=5e-3),
+            np.random.default_rng(7),
+        )
+        first = flash.offsets
+        flash.decide(np.zeros(10), rng)
+        assert flash.offsets == first
+        assert len(first) == 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            FlashBackend(0.0, 2, clean(), np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            FlashBackend(1.0, 0, clean(), np.random.default_rng(0))

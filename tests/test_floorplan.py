@@ -1,0 +1,54 @@
+"""Tests for repro.core.floorplan — the Fig. 7 area budget."""
+
+import pytest
+
+from repro.core.config import AdcConfig, ScalingPlan
+from repro.core.floorplan import BlockArea, Floorplan
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def floorplan(paper_config):
+    return Floorplan(paper_config)
+
+
+class TestFloorplan:
+    def test_total_near_086mm2(self, floorplan):
+        assert floorplan.total_area_mm2 == pytest.approx(0.86, abs=0.09)
+
+    def test_blocks_match_fig7_labels(self, floorplan):
+        names = {b.name for b in floorplan.blocks()}
+        assert "pipeline chain" in names
+        assert "reference voltage buffer" in names
+        assert "SC-bias current generator" in names
+        assert "bandgap voltage generator" in names
+        assert len(names) == 6
+
+    def test_chain_dominates(self, floorplan):
+        blocks = {b.name: b.area for b in floorplan.blocks()}
+        assert blocks["pipeline chain"] > 0.5 * floorplan.total_area
+
+    def test_scaling_saves_area(self, paper_config):
+        uniform = paper_config.with_scaling(ScalingPlan.uniform(10))
+        assert (
+            Floorplan(paper_config).total_area
+            < 0.8 * Floorplan(uniform).total_area
+        )
+
+    def test_render(self, floorplan):
+        text = floorplan.render()
+        assert "pipeline chain" in text
+        assert "total" in text
+        assert "mm^2" in text
+
+    def test_rejects_bad_utilization(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            Floorplan(paper_config, utilization=0.0)
+
+    def test_rejects_overhead_below_one(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            Floorplan(paper_config, capacitor_overhead=0.5)
+
+    def test_block_area_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            BlockArea(name="x", area=-1.0)

@@ -1,0 +1,56 @@
+"""Tests for repro.evaluation.fom."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.fom import (
+    energy_per_conversion_step,
+    paper_figure_of_merit,
+    walden_figure_of_merit,
+)
+
+
+class TestPaperFom:
+    def test_paper_headline_value(self):
+        """2^10.4 * 110 / (0.86 * 97) ~ 1.78e3 — the Fig. 8 top point."""
+        fm = paper_figure_of_merit(10.4, 110e6, 0.86e-6, 97e-3)
+        assert fm == pytest.approx(1781, rel=0.01)
+
+    def test_better_enob_wins(self):
+        base = paper_figure_of_merit(10.0, 100e6, 1e-6, 100e-3)
+        better = paper_figure_of_merit(11.0, 100e6, 1e-6, 100e-3)
+        assert better == pytest.approx(2 * base)
+
+    def test_smaller_area_wins(self):
+        base = paper_figure_of_merit(10.0, 100e6, 1e-6, 100e-3)
+        smaller = paper_figure_of_merit(10.0, 100e6, 0.5e-6, 100e-3)
+        assert smaller == pytest.approx(2 * base)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            paper_figure_of_merit(10.0, 0.0, 1e-6, 0.1)
+        with pytest.raises(ConfigurationError):
+            paper_figure_of_merit(10.0, 1e8, -1e-6, 0.1)
+
+
+class TestWaldenFom:
+    def test_value(self):
+        fom = walden_figure_of_merit(10.4, 110e6, 97e-3)
+        assert fom == pytest.approx(2**10.4 * 110e6 / 97e-3, rel=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            walden_figure_of_merit(10.0, 1e8, 0.0)
+
+
+class TestEnergyPerStep:
+    def test_paper_value_is_about_0_65pj(self):
+        """97 mW / (2^10.4 * 110 MS/s) ~ 0.65 pJ/step — respectable for
+        2004."""
+        energy = energy_per_conversion_step(10.4, 110e6, 97e-3)
+        assert energy == pytest.approx(0.65e-12, rel=0.02)
+
+    def test_inverse_of_walden(self):
+        energy = energy_per_conversion_step(10.0, 1e8, 0.1)
+        walden = walden_figure_of_merit(10.0, 1e8, 0.1)
+        assert energy == pytest.approx(1.0 / walden)

@@ -1,0 +1,120 @@
+"""Tests for repro.signal.generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.signal.generators import (
+    DcGenerator,
+    MultitoneGenerator,
+    RampGenerator,
+    SineGenerator,
+)
+
+
+def check_derivative(signal, times, step=1e-12):
+    """Analytic derivative must match the numeric one."""
+    numeric = (signal.value(times + step) - signal.value(times - step)) / (
+        2 * step
+    )
+    analytic = signal.derivative(times)
+    assert np.allclose(numeric, analytic, rtol=1e-3, atol=1e-3)
+
+
+class TestSineGenerator:
+    def test_amplitude_and_offset(self):
+        tone = SineGenerator(frequency=1e6, amplitude=0.5, offset=0.1)
+        t = np.linspace(0, 1e-5, 10001)
+        v = tone.value(t)
+        assert v.max() == pytest.approx(0.6, abs=1e-4)
+        assert v.min() == pytest.approx(-0.4, abs=1e-4)
+
+    def test_derivative_matches_numeric(self):
+        tone = SineGenerator(frequency=10e6, amplitude=0.995)
+        check_derivative(tone, np.linspace(0, 1e-6, 500))
+
+    def test_rms(self):
+        assert SineGenerator(frequency=1e6, amplitude=1.0).rms() == pytest.approx(
+            1 / np.sqrt(2)
+        )
+
+    def test_coherent_constructor(self):
+        tone = SineGenerator.coherent(10e6, 110e6, 8192, amplitude=0.9)
+        cycles = tone.frequency * 8192 / 110e6
+        assert cycles == pytest.approx(round(cycles), abs=1e-9)
+        assert tone.amplitude == 0.9
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            SineGenerator(frequency=0.0)
+        with pytest.raises(ConfigurationError):
+            SineGenerator(frequency=1e6, amplitude=0.0)
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=1e5, max_value=2e8),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0, max_value=6.28),
+    )
+    def test_derivative_property(self, frequency, amplitude, phase):
+        tone = SineGenerator(
+            frequency=frequency, amplitude=amplitude, phase=phase
+        )
+        t = np.linspace(0, 3 / frequency, 64)
+        step = 1e-5 / frequency
+        numeric = (tone.value(t + step) - tone.value(t - step)) / (2 * step)
+        assert np.allclose(tone.derivative(t), numeric, rtol=1e-3, atol=1e-6 * amplitude * frequency)
+
+
+class TestRampGenerator:
+    def test_linear_sweep(self):
+        ramp = RampGenerator(start=-1.0, stop=1.0, duration=1e-3)
+        t = np.array([0.0, 0.5e-3, 1e-3])
+        assert ramp.value(t) == pytest.approx([-1.0, 0.0, 1.0])
+
+    def test_holds_after_end(self):
+        ramp = RampGenerator(start=0.0, stop=1.0, duration=1e-3)
+        assert ramp.value(np.array([2e-3]))[0] == pytest.approx(1.0)
+
+    def test_derivative_is_slope_inside(self):
+        ramp = RampGenerator(start=0.0, stop=2.0, duration=1e-3)
+        assert ramp.derivative(np.array([0.5e-3]))[0] == pytest.approx(2000.0)
+        assert ramp.derivative(np.array([2e-3]))[0] == 0.0
+
+    def test_rejects_flat_or_instant(self):
+        with pytest.raises(ConfigurationError):
+            RampGenerator(start=1.0, stop=1.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            RampGenerator(start=0.0, stop=1.0, duration=0.0)
+
+
+class TestMultitone:
+    def test_sum_of_tones(self):
+        pair = MultitoneGenerator.two_tone(9e6, 10e6, amplitude_each=0.4)
+        t = np.linspace(0, 1e-6, 200)
+        expected = 0.4 * np.sin(2 * np.pi * 9e6 * t) + 0.4 * np.sin(
+            2 * np.pi * 10e6 * t
+        )
+        assert pair.value(t) == pytest.approx(expected)
+
+    def test_peak_bound(self):
+        pair = MultitoneGenerator.two_tone(9e6, 10e6, amplitude_each=0.49)
+        assert pair.peak() == pytest.approx(0.98)
+
+    def test_derivative_matches_numeric(self):
+        pair = MultitoneGenerator.two_tone(9e6, 10e6)
+        check_derivative(pair, np.linspace(0, 1e-6, 300))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            MultitoneGenerator(tones=())
+
+
+class TestDcGenerator:
+    def test_constant(self):
+        dc = DcGenerator(level=0.3)
+        t = np.zeros(5)
+        assert np.all(dc.value(t) == 0.3)
+        assert np.all(dc.derivative(t) == 0.0)

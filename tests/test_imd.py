@@ -1,0 +1,105 @@
+"""Tests for repro.signal.imd."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.signal.imd import TwoToneAnalyzer
+from repro.signal.spectrum import SpectrumAnalyzer
+
+
+def two_tone_record(
+    n=8192,
+    rate=110e6,
+    cycles1=1371,
+    cycles2=1427,
+    imd3_dbc=None,
+    imd2_dbc=None,
+    noise=1e-5,
+):
+    t = np.arange(n)
+    f1 = cycles1 * rate / n
+    f2 = cycles2 * rate / n
+    record = 0.47 * np.sin(2 * np.pi * cycles1 * t / n) + 0.47 * np.sin(
+        2 * np.pi * cycles2 * t / n
+    )
+    if imd3_dbc is not None:
+        amp = 0.47 * 10 ** (imd3_dbc / 20)
+        record += amp * np.sin(2 * np.pi * (2 * cycles1 - cycles2) * t / n)
+        record += amp * np.sin(2 * np.pi * (2 * cycles2 - cycles1) * t / n)
+    if imd2_dbc is not None:
+        amp = 0.47 * 10 ** (imd2_dbc / 20)
+        record += amp * np.sin(2 * np.pi * (cycles2 - cycles1) * t / n)
+    record += np.random.default_rng(0).normal(0, noise, n)
+    return record, rate, f1, f2
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return TwoToneAnalyzer(spectrum=SpectrumAnalyzer(full_scale=1.0))
+
+
+class TestTwoToneAnalyzer:
+    def test_recovers_injected_imd3(self, analyzer):
+        record, rate, f1, f2 = two_tone_record(imd3_dbc=-70.0)
+        result = analyzer.analyze(record, rate, f1, f2)
+        assert result.imd3_dbc == pytest.approx(-70.0, abs=1.0)
+
+    def test_recovers_injected_imd2(self, analyzer):
+        record, rate, f1, f2 = two_tone_record(imd2_dbc=-75.0)
+        result = analyzer.analyze(record, rate, f1, f2)
+        assert result.imd2_dbc == pytest.approx(-75.0, abs=1.0)
+
+    def test_clean_record_has_low_imd(self, analyzer):
+        record, rate, f1, f2 = two_tone_record()
+        result = analyzer.analyze(record, rate, f1, f2)
+        assert result.imd3_dbc < -85
+        assert result.imd2_dbc < -85
+
+    def test_tone_power_dbfs(self, analyzer):
+        record, rate, f1, f2 = two_tone_record()
+        result = analyzer.analyze(record, rate, f1, f2)
+        # Two -6.6 dBFS tones: combined ~ -3.5 dBFS.
+        assert result.tone_power_dbfs == pytest.approx(-3.5, abs=0.5)
+
+    def test_products_are_labeled(self, analyzer):
+        record, rate, f1, f2 = two_tone_record(imd3_dbc=-60.0)
+        result = analyzer.analyze(record, rate, f1, f2)
+        labels = {p.label for p in result.products}
+        assert "2f1-f2" in labels and "2f2-f1" in labels
+
+    def test_summary_renders(self, analyzer):
+        record, rate, f1, f2 = two_tone_record()
+        text = analyzer.analyze(record, rate, f1, f2).summary()
+        assert "IMD3" in text
+
+    def test_rejects_identical_tones(self, analyzer):
+        record, rate, f1, _ = two_tone_record()
+        with pytest.raises(AnalysisError):
+            analyzer.analyze(record, rate, f1, f1)
+
+    def test_rejects_bad_rate(self, analyzer):
+        record, _, f1, f2 = two_tone_record()
+        with pytest.raises(AnalysisError):
+            analyzer.analyze(record, 0.0, f1, f2)
+
+
+class TestOnTheConverter:
+    def test_paper_die_imd3(self):
+        """The converter's own two-tone IMD3 around a 10 MHz band is
+        set by its static nonlinearity: comfortably below -70 dBc."""
+        from repro import AdcConfig, MultitoneGenerator, PipelineAdc
+        from repro.signal.coherent import coherent_frequency
+
+        rate, n = 110e6, 8192
+        f1 = coherent_frequency(9e6, rate, n)
+        f2 = coherent_frequency(11.5e6, rate, n)
+        adc = PipelineAdc(AdcConfig.paper_default(), rate, seed=1)
+        capture = adc.convert(
+            MultitoneGenerator.two_tone(f1, f2, amplitude_each=0.47), n
+        )
+        analyzer = TwoToneAnalyzer(
+            spectrum=SpectrumAnalyzer(full_scale=2048.0)
+        )
+        result = analyzer.analyze(capture.codes, rate, f1, f2)
+        assert result.imd3_dbc < -65

@@ -1,0 +1,138 @@
+"""Integration tests: the full converter against the paper's numbers.
+
+These are the end-to-end checks a reviewer would run first: does the
+calibrated model land on Table I, do the impairments stack the way the
+paper's mechanisms say they should, and does the whole system stay
+stable across dies, rates and operating points.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.adc import PipelineAdc
+from repro.core.config import AdcConfig
+from repro.core.power import PowerModel
+from repro.signal.generators import SineGenerator
+from repro.signal.linearity import ramp_linearity
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.technology.corners import Corner, OperatingPoint
+
+
+def dynamic_metrics(config, rate=110e6, fin=10e6, n=4096, seed=1):
+    adc = PipelineAdc(config, conversion_rate=rate, seed=seed)
+    tone = SineGenerator.coherent(fin, rate, n, amplitude=0.995)
+    return SpectrumAnalyzer().analyze(adc.convert(tone, n).codes, rate)
+
+
+class TestTableOne:
+    def test_snr_band(self, nominal_metrics):
+        assert nominal_metrics.snr_db == pytest.approx(67.1, abs=1.5)
+
+    def test_sndr_band(self, nominal_metrics):
+        assert nominal_metrics.sndr_db == pytest.approx(64.2, abs=1.5)
+
+    def test_sfdr_band(self, nominal_metrics):
+        assert nominal_metrics.sfdr_db == pytest.approx(69.4, abs=3.5)
+
+    def test_enob_band(self, nominal_metrics):
+        assert nominal_metrics.enob_bits == pytest.approx(10.4, abs=0.3)
+
+    def test_power_anchor(self, paper_config):
+        assert PowerModel(paper_config).evaluate(110e6).total == pytest.approx(
+            97e-3, rel=0.05
+        )
+
+    def test_linearity_bands(self, paper_adc):
+        ramp = np.linspace(-1.02, 1.02, 4096 * 30)
+        result = ramp_linearity(paper_adc.convert_samples(ramp).codes, 4096)
+        assert result.monotonic
+        assert max(abs(result.dnl_min), result.dnl_max) <= 1.3
+        assert -2.0 <= result.inl_min <= -0.5
+        assert 0.5 <= result.inl_max <= 2.0
+
+
+class TestImpairmentStacking:
+    """Each physical mechanism must degrade the converter the way the
+    paper attributes it."""
+
+    def test_jitter_only_hurts_high_input_frequencies(self, paper_config):
+        no_jitter = replace(paper_config, include_jitter=False)
+        low_with = dynamic_metrics(paper_config, fin=10e6, n=2048)
+        low_without = dynamic_metrics(no_jitter, fin=10e6, n=2048)
+        high_with = dynamic_metrics(paper_config, fin=100e6, n=2048)
+        high_without = dynamic_metrics(no_jitter, fin=100e6, n=2048)
+        assert abs(low_with.snr_db - low_without.snr_db) < 1.0
+        assert high_without.snr_db > high_with.snr_db + 0.7
+
+    def test_tracking_only_hurts_high_input_frequencies(self, paper_config):
+        no_tracking = replace(paper_config, include_tracking=False)
+        high_with = dynamic_metrics(paper_config, fin=70e6, n=2048)
+        high_without = dynamic_metrics(no_tracking, fin=70e6, n=2048)
+        assert high_without.sfdr_db > high_with.sfdr_db + 5.0
+
+    def test_settling_only_hurts_high_rates(self, paper_config):
+        no_settling = replace(paper_config, include_settling=False)
+        fast_with = dynamic_metrics(paper_config, rate=150e6, n=2048)
+        fast_without = dynamic_metrics(no_settling, rate=150e6, n=2048)
+        slow_with = dynamic_metrics(paper_config, rate=40e6, fin=9e6, n=2048)
+        slow_without = dynamic_metrics(no_settling, rate=40e6, fin=9e6, n=2048)
+        assert fast_without.sndr_db > fast_with.sndr_db + 2.0
+        assert abs(slow_without.sndr_db - slow_with.sndr_db) < 1.0
+
+    def test_thermal_noise_sets_the_snr(self, paper_config):
+        no_thermal = replace(paper_config, include_thermal_noise=False)
+        with_thermal = dynamic_metrics(paper_config, n=2048)
+        without = dynamic_metrics(no_thermal, n=2048)
+        assert without.snr_db > with_thermal.snr_db + 3.0
+
+
+class TestRobustness:
+    def test_every_die_converts(self, paper_config):
+        """No seed may produce a broken converter (missing codes at
+        mid-scale, stuck bits...)."""
+        for seed in range(6):
+            metrics = dynamic_metrics(paper_config, n=2048, seed=seed)
+            assert metrics.sndr_db > 60.0
+
+    def test_corners_stay_functional(self, paper_config):
+        for corner in (Corner.SS, Corner.FF):
+            point = OperatingPoint(
+                technology=paper_config.technology,
+                corner=corner,
+                temperature_c=85.0,
+            )
+            adc = PipelineAdc(
+                paper_config, conversion_rate=110e6,
+                operating_point=point, seed=1,
+            )
+            tone = SineGenerator.coherent(10e6, 110e6, 2048, amplitude=0.995)
+            metrics = SpectrumAnalyzer().analyze(
+                adc.convert(tone, 2048).codes, 110e6
+            )
+            assert metrics.sndr_db > 58.0
+
+    def test_sc_bias_keeps_performance_across_rates(self, paper_config):
+        """'Full performance of the ADC from 20 to 140 MS/s' — the SC
+        bias generator's headline claim."""
+        for rate in (20e6, 60e6, 140e6):
+            metrics = dynamic_metrics(
+                paper_config, rate=rate, fin=min(10e6, 0.23 * rate), n=2048
+            )
+            assert metrics.sndr_db >= 61.0
+
+    def test_small_signal_behaves(self, paper_adc):
+        """-20 dBFS input: SNDR drops by ~the input reduction, no gross
+        errors."""
+        tone = SineGenerator.coherent(10e6, 110e6, 2048, amplitude=0.0995)
+        metrics = SpectrumAnalyzer().analyze(
+            paper_adc.convert(tone, 2048).codes, 110e6
+        )
+        assert 40 < metrics.sndr_db < 50
+
+    def test_overrange_input_clips_cleanly(self, paper_adc):
+        tone = SineGenerator.coherent(10e6, 110e6, 1024, amplitude=1.15)
+        result = paper_adc.convert(tone, 1024)
+        assert result.codes.min() == 0
+        assert result.codes.max() == 4095

@@ -1,0 +1,115 @@
+"""Tests for repro.signal.linearity."""
+
+import numpy as np
+import pytest
+
+from repro.core.behavioral import ideal_transfer_codes
+from repro.errors import AnalysisError
+from repro.signal.linearity import (
+    histogram_linearity,
+    ramp_linearity,
+    sine_linearity,
+)
+
+N_CODES = 256  # 8-bit keeps histogram tests fast
+
+
+def ramp_codes(transfer=lambda v: v, n_per_code=64, overdrive=1.02):
+    v = np.linspace(-overdrive, overdrive, N_CODES * n_per_code)
+    return ideal_transfer_codes(transfer(v), 1.0, 8)
+
+
+class TestRampLinearity:
+    def test_ideal_is_zero(self):
+        result = ramp_linearity(ramp_codes(), N_CODES)
+        assert abs(result.dnl_min) < 0.05
+        assert abs(result.dnl_max) < 0.05
+        assert abs(result.inl_min) < 0.05
+        assert abs(result.inl_max) < 0.05
+        assert result.monotonic
+        assert not result.missing_codes
+
+    def test_gain_error_invisible_after_normalization(self):
+        """A pure gain error is not nonlinearity."""
+        result = ramp_linearity(
+            ramp_codes(lambda v: 0.98 * v, overdrive=1.06), N_CODES
+        )
+        assert abs(result.inl_max) < 0.08
+        assert abs(result.inl_min) < 0.08
+
+    def test_cubic_bow_shows_in_inl(self):
+        result = ramp_linearity(
+            ramp_codes(lambda v: v + 0.003 * v**3), N_CODES
+        )
+        # 0.003 V of cubic at 8 bits: ~0.15 LSB of S-shaped INL.
+        assert result.inl_max > 0.12
+        assert result.inl_min < -0.12
+
+    def test_missing_code_detected(self):
+        codes = ramp_codes()
+        codes[codes == 77] = 78  # destroy code 77
+        result = ramp_linearity(codes, N_CODES)
+        assert 77 in result.missing_codes
+        assert not result.monotonic
+        assert result.dnl_min == pytest.approx(-1.0, abs=1e-9)
+
+    def test_wide_code_shows_positive_dnl(self):
+        def transfer(v):
+            # Stretch the middle code by pushing its upper edge up.
+            out = v.copy()
+            mask = (v > 0) & (v < 4.0 / N_CODES)
+            out[mask] = 0.0
+            return out
+
+        result = ramp_linearity(ramp_codes(transfer), N_CODES)
+        assert result.dnl_max > 0.5
+
+    def test_rejects_thin_histograms(self):
+        with pytest.raises(AnalysisError):
+            ramp_linearity(np.zeros(100, dtype=int), N_CODES)
+
+
+class TestSineLinearity:
+    def test_ideal_sine_near_zero(self):
+        n = N_CODES * 220
+        t = np.arange(n)
+        # Irrational-ish frequency avoids code locking.
+        v = 1.02 * np.sin(2 * np.pi * t * 0.137841)
+        codes = ideal_transfer_codes(v, 1.0, 8)
+        result = sine_linearity(codes, N_CODES, amplitude_codes=1.02 * 128)
+        assert abs(result.dnl_min) < 0.15
+        assert abs(result.dnl_max) < 0.15
+        assert abs(result.inl_max) < 0.2
+
+    def test_detects_cubic_distortion(self):
+        n = N_CODES * 220
+        t = np.arange(n)
+        v = 1.02 * np.sin(2 * np.pi * t * 0.137841)
+        codes = ideal_transfer_codes(v + 0.004 * v**3, 1.0, 8)
+        result = sine_linearity(codes, N_CODES, amplitude_codes=1.025 * 128)
+        assert max(abs(result.inl_min), abs(result.inl_max)) > 0.2
+
+
+class TestHistogramLinearity:
+    def test_expected_density_shape_enforced(self):
+        with pytest.raises(AnalysisError):
+            histogram_linearity(
+                ramp_codes(), N_CODES, np.ones(N_CODES - 1)
+            )
+
+    def test_rejects_zero_density(self):
+        density = np.ones(N_CODES)
+        density[5] = 0.0
+        with pytest.raises(AnalysisError):
+            histogram_linearity(ramp_codes(), N_CODES, density)
+
+    def test_summary_renders(self):
+        result = ramp_linearity(ramp_codes(), N_CODES)
+        text = result.summary()
+        assert "DNL" in text and "INL" in text and "monotonic" in text
+
+    def test_inl_endpoint_fit(self):
+        """Endpoint fit zeroes the INL at both range ends."""
+        result = ramp_linearity(ramp_codes(), N_CODES)
+        assert result.inl[0] == pytest.approx(0.0, abs=0.1)
+        assert result.inl[-1] == pytest.approx(0.0, abs=1e-9)

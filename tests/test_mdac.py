@@ -1,0 +1,144 @@
+"""Tests for repro.core.mdac."""
+
+import numpy as np
+import pytest
+
+from repro.core.mdac import Mdac
+from repro.devices.opamp import OpampParameters, TwoStageMillerOpamp
+from repro.errors import ConfigurationError
+from repro.technology.corners import OperatingPoint
+
+
+def make_opamp(dc_gain=1e9, compression=0.0):
+    return TwoStageMillerOpamp(
+        OpampParameters(
+            dc_gain=dc_gain,
+            unity_gain_bandwidth=1.4e9,
+            slew_rate=2.2e9,
+            output_swing=1.6,
+            compression=compression,
+            input_capacitance=0.0,
+        )
+    )
+
+
+def make_mdac(ratio_error=0.0, dc_gain=1e9, **kwargs):
+    defaults = dict(
+        unit_capacitance=0.225e-12,
+        ratio_error=ratio_error,
+        opamp=make_opamp(dc_gain),
+        load_capacitance=0.34e-12,
+        summing_parasitic=0.0,
+        settle_time=2.95e-9,
+        include_settling=False,
+        include_noise=False,
+        include_sampling_noise=False,
+    )
+    defaults.update(kwargs)
+    return Mdac(**defaults)
+
+
+@pytest.fixture(scope="module")
+def point():
+    return OperatingPoint()
+
+
+class TestResidueTransfer:
+    def test_ideal_gain_of_two(self, point, rng):
+        mdac = make_mdac()
+        v = np.array([-0.4, 0.0, 0.3])
+        d = np.array([0, 0, 0])
+        refs = np.ones(3)
+        out = mdac.amplify(v, d, refs, point, rng)
+        assert out == pytest.approx(2 * v, rel=1e-6)
+
+    def test_dac_subtraction(self, point, rng):
+        mdac = make_mdac()
+        v = np.array([0.6, -0.6])
+        d = np.array([1, -1])
+        out = mdac.amplify(v, d, np.ones(2), point, rng)
+        assert out == pytest.approx([0.2, -0.2], abs=1e-6)
+
+    def test_ratio_error_changes_gain_and_dac(self, point, rng):
+        delta = 1e-3
+        mdac = make_mdac(ratio_error=delta)
+        v = np.array([0.5])
+        out = mdac.amplify(v, np.array([1]), np.ones(1), point, rng)
+        expected = (2 + delta) * 0.5 - (1 + delta) * 1.0
+        assert out == pytest.approx(expected, abs=1e-9)
+
+    def test_reference_value_scales_dac(self, point, rng):
+        mdac = make_mdac()
+        out = mdac.amplify(
+            np.array([0.5]), np.array([1]), np.array([0.99]), point, rng
+        )
+        assert out[0] == pytest.approx(1.0 - 0.99, abs=1e-9)
+
+    def test_finite_gain_shrinks_residue(self, point, rng):
+        ideal = make_mdac(dc_gain=1e9)
+        finite = make_mdac(dc_gain=3000.0)
+        v = np.array([0.4])
+        out_i = ideal.amplify(v, np.array([0]), np.ones(1), point, rng)
+        out_f = finite.amplify(v, np.array([0]), np.ones(1), point, rng)
+        assert out_f[0] < out_i[0]
+        assert out_f[0] == pytest.approx(
+            out_i[0] * (1 - finite.static_gain_error()), rel=1e-7
+        )
+
+
+class TestSmallSignal:
+    def test_feedback_factor_near_half_without_parasitics(self):
+        mdac = make_mdac()
+        assert mdac.feedback_factor == pytest.approx(0.5, rel=1e-6)
+
+    def test_parasitics_reduce_feedback(self):
+        loaded = make_mdac(summing_parasitic=0.1e-12)
+        assert loaded.feedback_factor < 0.5
+
+    def test_sampling_capacitance(self):
+        mdac = make_mdac()
+        assert mdac.sampling_capacitance() == pytest.approx(0.45e-12)
+
+    def test_sampling_noise_value(self, point):
+        mdac = make_mdac()
+        assert mdac.sampling_noise_rms(point) == pytest.approx(136e-6, rel=0.05)
+
+    def test_settling_error_bound_decreases_with_time(self):
+        fast = make_mdac(settle_time=4e-9)
+        slow = make_mdac(settle_time=1e-9)
+        assert fast.settling_error_bound() < slow.settling_error_bound()
+
+
+class TestImpairmentFlags:
+    def test_settling_changes_output(self, point, rng):
+        ideal = make_mdac(include_settling=False, settle_time=0.15e-9)
+        real = make_mdac(include_settling=True, settle_time=0.15e-9)
+        v = np.array([0.45])
+        out_i = ideal.amplify(v, np.array([0]), np.ones(1), point, rng)
+        out_r = real.amplify(v, np.array([0]), np.ones(1), point, rng)
+        assert abs(out_r[0]) < abs(out_i[0])
+
+    def test_noise_flag(self, point):
+        noisy = make_mdac(include_noise=True)
+        a = noisy.amplify(
+            np.zeros(100), np.zeros(100, dtype=int), np.ones(100), point,
+            np.random.default_rng(0),
+        )
+        assert a.std() > 0
+
+    def test_sampling_noise_flag(self, point):
+        mdac = make_mdac(include_sampling_noise=True)
+        out = mdac.amplify(
+            np.zeros(2000), np.zeros(2000, dtype=int), np.ones(2000), point,
+            np.random.default_rng(0),
+        )
+        # 2x the input kT/C (gain 2): ~270 uV
+        assert out.std() == pytest.approx(2 * 136e-6, rel=0.1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            make_mdac(unit_capacitance=0.0)
+        with pytest.raises(ConfigurationError):
+            make_mdac(ratio_error=0.9)
+        with pytest.raises(ConfigurationError):
+            make_mdac(settle_time=0.0)

@@ -1,0 +1,61 @@
+"""Tests for repro.signal.metrics."""
+
+import pytest
+
+from repro.signal.metrics import HarmonicComponent, SpectrumMetrics
+
+
+def make_metrics(signal=0.5, noise=1e-7, distortion=2e-8, spur=1e-8):
+    return SpectrumMetrics.from_powers(
+        sample_rate=110e6,
+        fundamental_frequency=10e6,
+        fundamental_bin=373,
+        signal_power=signal,
+        full_scale_power=0.5,
+        noise_power=noise,
+        distortion_power=distortion,
+        worst_spur_power=spur,
+        worst_spur_bin=1119,
+        harmonics=(
+            HarmonicComponent(order=3, bin_index=1119, power_dbc=-70.0),
+        ),
+        n_noise_bins=2000,
+    )
+
+
+class TestFromPowers:
+    def test_snr(self):
+        m = make_metrics()
+        assert m.snr_db == pytest.approx(10 * 6.699, abs=0.1)
+
+    def test_sndr_below_snr(self):
+        m = make_metrics()
+        assert m.sndr_db < m.snr_db
+
+    def test_sfdr(self):
+        m = make_metrics()
+        assert m.sfdr_db == pytest.approx(10 * 7.699, abs=0.1)
+
+    def test_thd_negative(self):
+        assert make_metrics().thd_db < 0
+
+    def test_enob_from_sndr(self):
+        m = make_metrics()
+        assert m.enob_bits == pytest.approx((m.sndr_db - 1.76) / 6.02)
+
+    def test_full_scale_signal_is_0dbfs(self):
+        m = make_metrics(signal=0.5)
+        assert m.signal_power_dbfs == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_floor_below_noise_total(self):
+        m = make_metrics()
+        assert m.noise_floor_dbc < -m.snr_db
+
+    def test_zero_powers_do_not_crash(self):
+        m = make_metrics(noise=0.0, distortion=0.0, spur=0.0)
+        assert m.snr_db > 200  # bounded by the tiny-floor guard
+
+    def test_summary_contains_all_metrics(self):
+        text = make_metrics().summary()
+        for token in ("SNR", "SNDR", "SFDR", "THD", "ENOB"):
+            assert token in text

@@ -1,0 +1,78 @@
+"""Tests for repro.technology.montecarlo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology.corners import Corner
+from repro.technology.montecarlo import MonteCarloSampler, ProcessSample
+
+
+class TestMonteCarloSampler:
+    def test_sample_count(self, rng):
+        sampler = MonteCarloSampler()
+        dies = sampler.sample(25, rng)
+        assert len(dies) == 25
+        assert [d.index for d in dies] == list(range(25))
+
+    def test_reproducible_from_seed(self):
+        sampler = MonteCarloSampler()
+        a = sampler.sample(10, np.random.default_rng(7))
+        b = sampler.sample(10, np.random.default_rng(7))
+        assert [d.seed for d in a] == [d.seed for d in b]
+        assert [d.operating_point.corner for d in a] == [
+            d.operating_point.corner for d in b
+        ]
+
+    def test_dies_are_distinct(self, rng):
+        dies = MonteCarloSampler().sample(50, rng)
+        assert len({d.seed for d in dies}) == 50
+
+    def test_ranges_respected(self, rng):
+        sampler = MonteCarloSampler(
+            temperature_range_c=(0.0, 70.0), supply_tolerance=0.05
+        )
+        for die in sampler.sample(100, rng):
+            point = die.operating_point
+            assert 0.0 <= point.temperature_c <= 70.0
+            assert 0.95 <= point.supply_scale <= 1.05
+
+    def test_cap_variation_can_be_disabled(self, rng):
+        sampler = MonteCarloSampler(vary_absolute_capacitance=False)
+        assert all(
+            d.operating_point.cap_scale == 1.0
+            for d in sampler.sample(20, rng)
+        )
+
+    def test_corner_subset(self, rng):
+        sampler = MonteCarloSampler(corners=(Corner.SS,))
+        assert all(
+            d.operating_point.corner is Corner.SS
+            for d in sampler.sample(20, rng)
+        )
+
+    def test_nominal_sample(self):
+        die = MonteCarloSampler().nominal_sample(seed=3)
+        assert die.operating_point.corner is Corner.TT
+        assert die.operating_point.cap_scale == 1.0
+        assert die.seed == 3
+
+    def test_die_rng_reproducible(self):
+        die = ProcessSample(
+            operating_point=MonteCarloSampler().nominal_sample().operating_point,
+            seed=11,
+            index=0,
+        )
+        assert die.rng().integers(1000) == die.rng().integers(1000)
+
+    def test_rejects_bad_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler().sample(0, rng)
+
+    def test_rejects_reversed_temperature_range(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler(temperature_range_c=(100.0, 0.0))
+
+    def test_rejects_empty_corner_set(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler(corners=())

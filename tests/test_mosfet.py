@@ -1,0 +1,181 @@
+"""Tests for repro.technology.mosfet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ModelDomainError
+from repro.technology.corners import OperatingPoint
+from repro.technology.mosfet import Mosfet, MosPolarity
+
+
+@pytest.fixture(scope="module")
+def nmos():
+    return Mosfet(
+        polarity=MosPolarity.NMOS,
+        width=10e-6,
+        length=0.18e-6,
+        operating_point=OperatingPoint(),
+    )
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    return Mosfet(
+        polarity=MosPolarity.PMOS,
+        width=10e-6,
+        length=0.18e-6,
+        operating_point=OperatingPoint(),
+    )
+
+
+class TestConstruction:
+    def test_aspect_ratio(self, nmos):
+        assert nmos.aspect_ratio == pytest.approx(10e-6 / 0.18e-6)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            Mosfet(
+                polarity=MosPolarity.NMOS,
+                width=0.0,
+                length=1e-6,
+                operating_point=OperatingPoint(),
+            )
+
+    def test_kprime_by_polarity(self, nmos, pmos):
+        assert nmos.kprime > pmos.kprime
+
+
+class TestThreshold:
+    def test_zero_vsb_is_nominal(self, nmos):
+        assert nmos.threshold(0.0) == pytest.approx(0.45, abs=1e-9)
+
+    def test_body_effect_raises_vth(self, nmos):
+        assert nmos.threshold(0.9) > nmos.threshold(0.0)
+
+    def test_body_effect_array(self, nmos):
+        vsb = np.linspace(0, 1.5, 7)
+        vth = nmos.threshold(vsb)
+        assert np.all(np.diff(vth) > 0)
+
+    def test_rejects_deep_forward_bias(self, nmos):
+        with pytest.raises(ModelDomainError):
+            nmos.threshold(-1.0)
+
+
+class TestSaturation:
+    def test_current_positive(self, nmos):
+        assert nmos.saturation_current(0.2) > 0
+
+    def test_current_grows_with_overdrive(self, nmos):
+        assert nmos.saturation_current(0.3) > nmos.saturation_current(0.2)
+
+    def test_rejects_below_threshold(self, nmos):
+        with pytest.raises(ModelDomainError):
+            nmos.saturation_current(-0.1)
+
+    def test_overdrive_inverts_current(self, nmos):
+        """overdrive_for_current is the exact inverse of the current law."""
+        for vov in (0.1, 0.2, 0.35, 0.6):
+            current = nmos.saturation_current(vov)
+            assert nmos.overdrive_for_current(current) == pytest.approx(
+                vov, rel=1e-9
+            )
+
+    @given(st.floats(min_value=1e-7, max_value=1e-2))
+    def test_overdrive_for_current_consistent(self, current):
+        device = Mosfet(
+            polarity=MosPolarity.NMOS,
+            width=40e-6,
+            length=0.25e-6,
+            operating_point=OperatingPoint(),
+        )
+        vov = device.overdrive_for_current(current)
+        assert vov > 0
+        assert device.saturation_current(vov) == pytest.approx(
+            current, rel=1e-6
+        )
+
+    def test_transconductance_positive_and_sublinear(self, nmos):
+        """gm grows with current but slower than linearly (square law) —
+        the mechanism behind the Fig. 5 settling knee."""
+        gm1 = nmos.transconductance(1e-4)
+        gm4 = nmos.transconductance(4e-4)
+        assert gm1 > 0
+        assert gm4 > gm1
+        assert gm4 < 4 * gm1
+        # Square-law: gm ~ sqrt(I) at low overdrive.
+        assert gm4 == pytest.approx(2 * gm1, rel=0.25)
+
+    def test_rejects_nonpositive_current(self, nmos):
+        with pytest.raises(ModelDomainError):
+            nmos.overdrive_for_current(0.0)
+
+
+class TestTriode:
+    def test_conductance_positive_above_threshold(self, nmos):
+        g = nmos.triode_conductance(1.8)
+        assert g > 0
+
+    def test_conductance_monotone_in_vgs(self, nmos):
+        vgs = np.linspace(0.0, 1.8, 50)
+        g = nmos.triode_conductance(vgs)
+        assert np.all(np.diff(g) > 0)
+
+    def test_subthreshold_is_small_but_smooth(self, nmos):
+        """Below threshold the conductance decays exponentially rather
+        than clipping to zero (the smoothing that keeps switch Ron(V)
+        curvature physical)."""
+        g_off = float(nmos.triode_conductance(0.2))
+        g_on = float(nmos.triode_conductance(1.8))
+        assert 0 < g_off < 1e-3 * g_on
+
+    def test_body_effect_reduces_conductance(self, nmos):
+        g_no_body = float(nmos.triode_conductance(1.0, 0.0))
+        g_body = float(nmos.triode_conductance(1.0, 0.9))
+        assert g_body < g_no_body
+
+    @given(st.floats(min_value=0.0, max_value=1.8))
+    def test_conductance_never_negative(self, vgs):
+        device = Mosfet(
+            polarity=MosPolarity.NMOS,
+            width=10e-6,
+            length=0.18e-6,
+            operating_point=OperatingPoint(),
+        )
+        assert float(device.triode_conductance(vgs)) >= 0
+
+
+class TestParasitics:
+    def test_gate_capacitance(self, nmos):
+        expected = 8.4e-3 * 10e-6 * 0.18e-6
+        assert nmos.gate_capacitance() == pytest.approx(expected)
+
+    def test_leakage_doubles_every_8c(self, nmos):
+        hot = Mosfet(
+            polarity=MosPolarity.NMOS,
+            width=10e-6,
+            length=0.18e-6,
+            operating_point=OperatingPoint(temperature_c=35.0),
+        )
+        assert hot.junction_leakage() == pytest.approx(
+            2 * nmos.junction_leakage(), rel=1e-6
+        )
+
+    def test_vth_mismatch_shrinks_with_area(self):
+        small = Mosfet(
+            polarity=MosPolarity.NMOS,
+            width=1e-6,
+            length=0.18e-6,
+            operating_point=OperatingPoint(),
+        )
+        big = Mosfet(
+            polarity=MosPolarity.NMOS,
+            width=100e-6,
+            length=0.18e-6,
+            operating_point=OperatingPoint(),
+        )
+        assert big.vth_mismatch_sigma() == pytest.approx(
+            small.vth_mismatch_sigma() / 10, rel=1e-9
+        )

@@ -1,0 +1,98 @@
+"""Tests for repro.evaluation.noise_budget."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+from repro.evaluation.noise_budget import compute_noise_budget
+from repro.evaluation.testbench import DynamicTestbench
+
+
+class TestBudgetStructure:
+    def test_all_sources_present(self, paper_config):
+        budget = compute_noise_budget(paper_config, 110e6)
+        names = {c.name for c in budget.contributions}
+        assert names == {
+            "quantization",
+            "front-end kT/C",
+            "later-stage kT/C",
+            "opamp noise (all stages)",
+            "reference noise",
+            "aperture jitter",
+        }
+
+    def test_total_is_rss(self, paper_config):
+        budget = compute_noise_budget(paper_config, 110e6)
+        rss = sum(c.rms**2 for c in budget.contributions) ** 0.5
+        assert budget.total_rms == pytest.approx(rss)
+
+    def test_quantization_value(self, paper_config):
+        budget = compute_noise_budget(paper_config, 110e6)
+        quant = next(
+            c for c in budget.contributions if c.name == "quantization"
+        )
+        assert quant.rms == pytest.approx(paper_config.lsb / 12**0.5)
+
+    def test_impairment_switches_remove_rows(self, paper_config):
+        quiet = replace(
+            paper_config,
+            include_thermal_noise=False,
+            include_jitter=False,
+            include_reference_noise=False,
+        )
+        budget = compute_noise_budget(quiet, 110e6)
+        assert {c.name for c in budget.contributions} == {"quantization"}
+        assert budget.snr_db == pytest.approx(74.0, abs=0.2)
+
+    def test_render(self, paper_config):
+        text = compute_noise_budget(paper_config, 110e6).render()
+        assert "SNR" in text and "uV" in text
+
+    def test_rejects_bad_args(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            compute_noise_budget(paper_config, 0.0)
+        with pytest.raises(ConfigurationError):
+            compute_noise_budget(paper_config, 110e6, amplitude_fraction=2.0)
+
+
+class TestAgainstSimulation:
+    def test_matches_simulated_snr_at_low_fin(self, paper_config):
+        """The audit: analytic SNR within 1.5 dB of the simulated one."""
+        budget = compute_noise_budget(paper_config, 110e6, 10e6)
+        measured = DynamicTestbench(paper_config, n_samples=4096).measure(
+            110e6, 10e6
+        )
+        assert budget.snr_db == pytest.approx(measured.snr_db, abs=1.5)
+
+    def test_matches_simulated_snr_at_high_fin(self, paper_config):
+        budget = compute_noise_budget(paper_config, 110e6, 100e6)
+        measured = DynamicTestbench(paper_config, n_samples=4096).measure(
+            110e6, 100e6
+        )
+        assert budget.snr_db == pytest.approx(measured.snr_db, abs=1.5)
+
+    def test_jitter_takes_over_at_high_fin(self, paper_config):
+        low = compute_noise_budget(paper_config, 110e6, 10e6)
+        high = compute_noise_budget(paper_config, 110e6, 150e6)
+
+        def jitter_share(budget):
+            jitter = next(
+                c for c in budget.contributions if c.name == "aperture jitter"
+            )
+            return (jitter.rms / budget.total_rms) ** 2
+
+        assert jitter_share(low) < 0.01
+        assert jitter_share(high) > 0.15
+
+    def test_scaling_plan_changes_budget(self, paper_config):
+        """The unscaled pipeline is quieter — the noise the paper's
+        scaling traded for power/area."""
+        from repro.core.config import ScalingPlan
+
+        scaled = compute_noise_budget(paper_config, 110e6)
+        uniform = compute_noise_budget(
+            paper_config.with_scaling(ScalingPlan.uniform(10)), 110e6
+        )
+        assert uniform.total_rms < scaled.total_rms

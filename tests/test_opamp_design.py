@@ -1,0 +1,91 @@
+"""Tests for repro.devices.opamp_design — bias to bandwidth translation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices.opamp_design import OpampDesigner
+from repro.errors import ConfigurationError, ModelDomainError
+from repro.technology.corners import OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def designer():
+    return OpampDesigner(operating_point=OperatingPoint())
+
+
+class TestDesign:
+    def test_gbw_grows_sublinearly_with_bias(self, designer):
+        """gm ~ sqrt(I): doubling the current gives less than double the
+        GBW — the square-law mechanism behind the Fig. 5 knee."""
+        slow = designer.design(1e-3)
+        fast = designer.design(2e-3)
+        ratio = (
+            fast.parameters.unity_gain_bandwidth
+            / slow.parameters.unity_gain_bandwidth
+        )
+        assert 1.25 < ratio < 1.6
+
+    def test_slew_rate_linear_in_bias(self, designer):
+        slow = designer.design(1e-3)
+        fast = designer.design(2e-3)
+        assert fast.parameters.slew_rate == pytest.approx(
+            2 * slow.parameters.slew_rate, rel=1e-6
+        )
+
+    def test_quiescent_current_bookkeeping(self, designer):
+        report = designer.design(1e-3)
+        expected = 1e-3 * (1 + 1.6 + 0.4)
+        assert report.parameters.quiescent_current == pytest.approx(expected)
+
+    def test_gain_falls_with_overdrive(self, designer):
+        """More bias -> more overdrive -> less intrinsic gain."""
+        low = designer.design(0.5e-3)
+        high = designer.design(4e-3)
+        assert high.parameters.dc_gain < low.parameters.dc_gain
+        assert high.input_overdrive > low.input_overdrive
+
+    def test_gm_consistent_with_overdrive(self, designer):
+        report = designer.design(2.6e-3)
+        # gm ~ 2*(I/2)/Vov within the mobility-degradation correction.
+        naive = 2 * (2.6e-3 / 2) / report.input_overdrive
+        assert report.gm == pytest.approx(naive, rel=0.3)
+
+    def test_rejects_nonpositive_bias(self, designer):
+        with pytest.raises(ModelDomainError):
+            designer.design(0.0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            OpampDesigner(
+                operating_point=OperatingPoint(), input_pair_width=0.0
+            )
+
+    def test_build_returns_behavioral_opamp(self, designer):
+        amp = designer.build(1e-3)
+        assert amp.parameters.unity_gain_bandwidth > 0
+
+    @given(st.floats(min_value=1e-5, max_value=1e-2))
+    def test_all_parameters_positive(self, bias):
+        designer = OpampDesigner(operating_point=OperatingPoint())
+        p = designer.design(bias).parameters
+        assert p.unity_gain_bandwidth > 0
+        assert p.slew_rate > 0
+        assert p.dc_gain >= 10.0
+        assert p.quiescent_current > 0
+
+    def test_paper_stage1_bias_point(self):
+        """At the stage-1 bias (~2.6 mA from the SC generator at
+        110 MS/s) the design lands in the calibrated region: GBW around
+        1.5 GHz and slew around 2 V/ns."""
+        designer = OpampDesigner(
+            operating_point=OperatingPoint(),
+            input_pair_width=40e-6,
+            input_pair_length=0.25e-6,
+            compensation_capacitance=1.2e-12,
+            load_capacitance=0.36e-12,
+        )
+        p = designer.design(2.62e-3).parameters
+        assert 1.0e9 < p.unity_gain_bandwidth < 2.2e9
+        assert 1.5e9 < p.slew_rate < 3.5e9
+        assert p.dc_gain > 1000

@@ -1,0 +1,92 @@
+"""Tests for repro.core.power — the Fig. 4 physics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdcConfig, ScalingPlan
+from repro.core.power import PowerModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def model(paper_config):
+    return PowerModel(paper_config)
+
+
+class TestPaperAnchors:
+    def test_97mw_at_110msps(self, model):
+        assert model.evaluate(110e6).total == pytest.approx(97e-3, rel=0.05)
+
+    def test_110mw_at_130msps(self, model):
+        assert model.evaluate(130e6).total == pytest.approx(110e-3, rel=0.05)
+
+    def test_breakdown_sums_to_total(self, model):
+        b = model.evaluate(110e6)
+        parts = (
+            b.opamps
+            + b.static_analog
+            + b.comparators
+            + b.correction_logic
+            + b.clocking
+            + b.bias_generator
+        )
+        assert b.total == pytest.approx(parts)
+
+    def test_opamps_dominate(self, model):
+        b = model.evaluate(110e6)
+        assert b.opamps > 0.5 * b.total
+
+    def test_static_is_rate_independent(self, model):
+        assert model.evaluate(20e6).static_analog == pytest.approx(
+            model.evaluate(130e6).static_analog
+        )
+
+    def test_scaled_part_tracks_rate(self, model):
+        slow = model.evaluate(20e6)
+        fast = model.evaluate(110e6)
+        assert fast.scaled == pytest.approx(5.5 * slow.scaled, rel=0.1)
+
+    def test_intercept_and_slope(self, model):
+        intercept, slope = model.intercept_and_slope()
+        # Static blocks ~26 mW; slope ~0.65 mW per MS/s (the paper's
+        # 97->110 mW over 110->130 MS/s).
+        assert intercept == pytest.approx(26e-3, rel=0.2)
+        assert slope * 1e6 == pytest.approx(0.65e-3, rel=0.15)
+
+    def test_sweep_matches_pointwise(self, model):
+        rates = [20e6, 60e6, 110e6]
+        series = model.sweep(rates)
+        assert len(series) == 3
+        assert series[2].total == pytest.approx(model.evaluate(110e6).total)
+
+
+class TestConfigurationsAndValidation:
+    def test_unscaled_pipeline_burns_more(self, paper_config):
+        uniform = paper_config.with_scaling(ScalingPlan.uniform(10))
+        scaled_power = PowerModel(paper_config).evaluate(110e6).total
+        uniform_power = PowerModel(uniform).evaluate(110e6).total
+        assert uniform_power > 1.5 * scaled_power
+
+    def test_fixed_bias_flat_vs_rate(self, paper_config):
+        fixed = paper_config.with_fixed_bias()
+        model = PowerModel(fixed)
+        slow = model.evaluate(20e6)
+        fast = model.evaluate(140e6)
+        assert slow.opamps == pytest.approx(fast.opamps)
+
+    def test_rows_render(self, model):
+        rows = model.evaluate(110e6).as_rows()
+        assert rows[-1][0] == "total"
+        assert rows[-1][1] == pytest.approx(model.evaluate(110e6).total)
+
+    def test_rejects_nonpositive_rate(self, model):
+        with pytest.raises(ConfigurationError):
+            model.evaluate(0.0)
+
+    def test_rejects_negative_energy(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            PowerModel(paper_config, comparator_energy=-1.0)
+
+    def test_intercept_rejects_bad_range(self, model):
+        with pytest.raises(ConfigurationError):
+            model.intercept_and_slope(low_rate=100e6, high_rate=50e6)

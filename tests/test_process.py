@@ -1,0 +1,92 @@
+"""Tests for repro.technology.process."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology.process import (
+    DigitalGateModel,
+    Technology,
+    default_technology,
+)
+
+
+class TestTechnology:
+    def test_default_is_018um_18v(self):
+        tech = default_technology()
+        assert tech.supply_voltage == pytest.approx(1.8)
+        assert "0.18" in tech.name
+
+    def test_thresholds_leave_headroom(self):
+        tech = Technology()
+        assert tech.nmos_vth < tech.supply_voltage / 2
+        assert tech.pmos_vth < tech.supply_voltage / 2
+
+    def test_nmos_faster_than_pmos(self):
+        """Electron mobility beats hole mobility — the reason the paper's
+        PMOS switches are the large ones."""
+        tech = Technology()
+        assert tech.nmos_kprime > 3 * tech.pmos_kprime
+
+    def test_rejects_negative_capacitance_density(self):
+        with pytest.raises(ConfigurationError):
+            Technology(metal_cap_density=-1.0)
+
+    def test_rejects_zero_supply(self):
+        with pytest.raises(ConfigurationError):
+            Technology(supply_voltage=0.0)
+
+    def test_rejects_threshold_above_supply(self):
+        with pytest.raises(ConfigurationError):
+            Technology(nmos_vth=2.0)
+
+    def test_rejects_cap_spread_of_one(self):
+        with pytest.raises(ConfigurationError):
+            Technology(metal_cap_spread=1.0)
+
+    def test_scaled_supply(self):
+        tech = Technology().scaled_supply(1.1)
+        assert tech.supply_voltage == pytest.approx(1.98)
+
+    def test_scaled_supply_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Technology().scaled_supply(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Technology().supply_voltage = 3.3
+
+
+class TestDigitalGateModel:
+    def test_power_scales_with_clock(self):
+        gates = DigitalGateModel()
+        slow = gates.power(1.8, 20e6)
+        fast = gates.power(1.8, 110e6)
+        assert fast > slow
+        dynamic_slow = slow - gates.leakage_current * 1.8
+        dynamic_fast = fast - gates.leakage_current * 1.8
+        assert dynamic_fast == pytest.approx(dynamic_slow * 5.5)
+
+    def test_power_scales_with_supply_squared(self):
+        gates = DigitalGateModel(leakage_current=0.0)
+        assert gates.power(2.0, 1e8) == pytest.approx(
+            4.0 * gates.power(1.0, 1e8)
+        )
+
+    def test_leakage_floor_at_zero_clock(self):
+        gates = DigitalGateModel()
+        assert gates.power(1.8, 0.0) == pytest.approx(
+            gates.leakage_current * 1.8
+        )
+
+    def test_correction_logic_is_few_mw_at_110msps(self):
+        """The correction logic is a small slice of the 97 mW budget."""
+        power = DigitalGateModel().power(1.8, 110e6)
+        assert 1e-3 < power < 10e-3
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(ConfigurationError):
+            DigitalGateModel(switched_capacitance=-1e-12)
+
+    def test_rejects_nonpositive_supply(self):
+        with pytest.raises(ConfigurationError):
+            DigitalGateModel().power(0.0, 1e8)

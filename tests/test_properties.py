@@ -1,0 +1,148 @@
+"""Cross-module property-based tests (hypothesis).
+
+The architectural invariants of the 1.5-bit pipeline, exercised through
+the *whole* converter rather than single modules.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.adc import PipelineAdc
+from repro.core.behavioral import ideal_transfer_codes
+from repro.core.config import AdcConfig
+from repro.devices.comparator import ComparatorParameters
+
+
+@pytest.fixture(scope="module")
+def ideal_config_module():
+    return AdcConfig.ideal()
+
+
+class TestIdealPipelineIsIdealQuantizer:
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.floats(min_value=-1, max_value=1), min_size=8, max_size=64))
+    def test_arbitrary_inputs_match_oracle(self, voltages):
+        config = AdcConfig.ideal()
+        adc = PipelineAdc(config, conversion_rate=110e6, seed=0)
+        v = np.asarray(voltages)
+        codes = adc.convert_samples(v).codes
+        oracle = ideal_transfer_codes(v, 1.0, 12)
+        assert np.max(np.abs(codes - oracle)) <= 1
+
+    @settings(max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_die_seed_irrelevant_for_ideal_converter(self, seed):
+        """With every impairment off there is nothing to draw: all dies
+        are identical."""
+        config = AdcConfig.ideal()
+        v = np.linspace(-0.9, 0.9, 64)
+        a = PipelineAdc(config, 110e6, seed=seed).convert_samples(v).codes
+        b = PipelineAdc(config, 110e6, seed=0).convert_samples(v).codes
+        assert np.array_equal(a, b)
+
+
+class TestRedundancyAbsorbsComparatorErrors:
+    @settings(max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.floats(min_value=1e-3, max_value=60e-3), st.integers(0, 1000))
+    def test_offsets_within_margin_are_free(self, offset_sigma, seed):
+        """Comparator offsets up to tens of millivolts (<< Vref/4) must
+        not move the corrected output by more than 1 LSB."""
+        from repro.technology.process import Technology
+
+        base = AdcConfig.ideal()
+        skewed = replace(
+            base,
+            include_mismatch=True,  # lets the offsets actually draw
+            # ... but keep capacitor matching essentially perfect so the
+            # property isolates comparator offsets.
+            technology=Technology(metal_cap_matching=1e-16),
+            comparator=ComparatorParameters(
+                offset_sigma=offset_sigma,
+                noise_rms=0.0,
+                hysteresis=0.0,
+                metastability_window=0.0,
+            ),
+        )
+        v = np.linspace(-0.95, 0.95, 97)
+        oracle = ideal_transfer_codes(v, 1.0, 12)
+        offset = PipelineAdc(skewed, 110e6, seed=seed).convert_samples(v).codes
+        # The offset-laden converter must stay within 1 LSB of the ideal
+        # transfer, exactly like the offset-free one.
+        assert np.max(np.abs(offset - oracle)) <= 1
+
+    def test_offsets_beyond_margin_break_the_converter(self):
+        """Sanity counter-case: offsets far beyond Vref/4 must corrupt
+        codes — otherwise the redundancy test above proves nothing."""
+        base = AdcConfig.ideal()
+        broken = replace(
+            base,
+            include_mismatch=True,
+            comparator=ComparatorParameters(
+                offset_sigma=0.5,  # ~2x the redundancy margin
+                noise_rms=0.0,
+                hysteresis=0.0,
+                metastability_window=0.0,
+            ),
+        )
+        v = np.linspace(-0.95, 0.95, 297)
+        clean = PipelineAdc(base, 110e6, seed=3).convert_samples(v).codes
+        corrupt = PipelineAdc(broken, 110e6, seed=3).convert_samples(v).codes
+        assert np.max(np.abs(clean - corrupt)) > 10
+
+
+class TestStaticTransferInvariants:
+    @settings(max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_noiseless_transfer_is_monotone(self, seed):
+        """Mismatch bends the transfer but must not grossly reverse it."""
+        config = replace(
+            AdcConfig.paper_default(),
+            include_thermal_noise=False,
+            include_jitter=False,
+            include_reference_noise=False,
+            include_tracking=False,
+            comparator=ComparatorParameters(
+                offset_sigma=8e-3,
+                noise_rms=0.0,
+                hysteresis=0.0,
+                metastability_window=0.0,
+            ),
+            flash_comparator=ComparatorParameters(
+                offset_sigma=5e-3,
+                noise_rms=0.0,
+                hysteresis=0.0,
+                metastability_window=0.0,
+            ),
+        )
+        adc = PipelineAdc(config, 110e6, seed=seed)
+        v = np.linspace(-1.0, 1.0, 3000)
+        codes = adc.convert_samples(v).codes
+        # Capacitor mismatch at the majors can legally produce ~1 LSB
+        # retrograde steps (the silicon itself reports DNL of -1.2 LSB);
+        # what must never happen is a gross reversal.
+        assert np.min(np.diff(codes)) >= -2
+
+    @settings(max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.floats(min_value=-0.95, max_value=0.95))
+    def test_dc_repeatability_within_noise(self, level):
+        """A DC input converts to the same code up to noise: spread
+        bounded by a few LSB."""
+        adc = PipelineAdc(AdcConfig.paper_default(), 110e6, seed=1)
+        codes = adc.convert_samples(np.full(64, level)).codes
+        assert codes.max() - codes.min() <= 8
+
+    def test_offset_binary_symmetry(self):
+        """The noiseless transfer of +v and -v must mirror around
+        mid-scale (the differential circuit is symmetric)."""
+        config = replace(
+            AdcConfig.ideal(),
+        )
+        adc = PipelineAdc(config, 110e6, seed=0)
+        v = np.linspace(0.01, 0.99, 151)
+        up = adc.convert_samples(v).codes
+        down = adc.convert_samples(-v).codes
+        assert np.max(np.abs((up - 2048) + (down - 2047))) <= 1

@@ -1,0 +1,60 @@
+"""Tests for repro.analog.references."""
+
+import numpy as np
+import pytest
+
+from repro.analog.references import ReferenceBuffer
+from repro.errors import ConfigurationError
+
+
+class TestReferenceBuffer:
+    def test_effective_reference_near_nominal(self):
+        buf = ReferenceBuffer()
+        v = buf.effective_reference(2e-12, 110e6)
+        assert v == pytest.approx(1.0, abs=5e-3)
+
+    def test_sag_grows_with_rate(self):
+        buf = ReferenceBuffer()
+        slow = buf.effective_reference(2e-12, 20e6)
+        fast = buf.effective_reference(2e-12, 140e6)
+        assert fast < slow
+
+    def test_load_current_formula(self):
+        buf = ReferenceBuffer(nominal_reference=1.0)
+        assert buf.load_current(2e-12, 110e6) == pytest.approx(2.2e-4)
+
+    def test_zero_impedance_means_no_sag(self):
+        buf = ReferenceBuffer(output_impedance=0.0, static_error=0.0)
+        assert buf.effective_reference(5e-12, 200e6) == pytest.approx(1.0)
+
+    def test_sample_reference_statistics(self, rng):
+        buf = ReferenceBuffer(noise_rms=100e-6)
+        samples = buf.sample_reference(20000, 2e-12, 110e6, rng)
+        assert samples.std() == pytest.approx(100e-6, rel=0.05)
+        assert samples.mean() == pytest.approx(
+            buf.effective_reference(2e-12, 110e6), abs=5e-6
+        )
+
+    def test_sample_reference_noiseless(self, rng):
+        buf = ReferenceBuffer(noise_rms=0.0)
+        samples = buf.sample_reference(100, 2e-12, 110e6, rng)
+        assert np.unique(samples).size == 1
+
+    def test_static_power_rate_independent(self, operating_point):
+        buf = ReferenceBuffer()
+        assert buf.power(operating_point) == pytest.approx(
+            buf.quiescent_current * 1.8
+        )
+
+    def test_buffer_is_the_static_power_hog(self, operating_point):
+        """The reference buffer dominates the ~26 mW zero-rate intercept
+        of Fig. 4."""
+        assert ReferenceBuffer().power(operating_point) > 15e-3
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReferenceBuffer(nominal_reference=0.0)
+        with pytest.raises(ConfigurationError):
+            ReferenceBuffer().sample_reference(0, 1e-12, 1e8, rng)
+        with pytest.raises(ConfigurationError):
+            ReferenceBuffer().load_current(-1e-12, 1e8)

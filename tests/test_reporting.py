@@ -1,0 +1,69 @@
+"""Tests for repro.evaluation.reporting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(
+            ["f [MHz]", "P [mW]"], [["110", "97"], ["130", "110"]]
+        )
+        lines = text.splitlines()
+        assert "f [MHz]" in lines[0]
+        assert "97" in lines[2]
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["x", "1"], ["longer", "22"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+
+class TestFormatSeries:
+    def test_renders_chart_and_rows(self):
+        text = format_series(
+            "f_CR [MS/s]",
+            [20, 60, 110, 130],
+            {"P [mW]": [40, 65, 97, 110]},
+            title="Fig. 4",
+        )
+        assert "Fig. 4" in text
+        assert "legend" in text
+        assert "110" in text
+
+    def test_multiple_series(self):
+        text = format_series(
+            "f", [1, 2, 3], {"SNR": [67, 66, 65], "SNDR": [64, 63, 60]}
+        )
+        assert "*=SNR" in text
+        assert "o=SNDR" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_series("x", [1, 2], {"y": [1, 2, 3]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            format_series("x", [1], {"y": [1]})
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ConfigurationError):
+            format_series("x", [1, 1], {"y": [1, 2]})
+
+    def test_flat_series_does_not_crash(self):
+        text = format_series("x", [1, 2, 3], {"y": [5, 5, 5]})
+        assert "5" in text

@@ -1,0 +1,67 @@
+"""Tests for repro.core.stage."""
+
+import numpy as np
+import pytest
+
+from repro.core.mdac import Mdac
+from repro.core.stage import PipelineStage
+from repro.core.subadc import SubAdc
+from repro.devices.comparator import ComparatorParameters
+from repro.devices.opamp import OpampParameters, TwoStageMillerOpamp
+from repro.technology.corners import OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def stage():
+    clean = ComparatorParameters(
+        offset_sigma=0.0, noise_rms=0.0, hysteresis=0.0, metastability_window=0.0
+    )
+    opamp = TwoStageMillerOpamp(
+        OpampParameters(
+            dc_gain=1e9,
+            unity_gain_bandwidth=1.4e9,
+            slew_rate=2.2e9,
+            output_swing=1.6,
+            compression=0.0,
+            input_capacitance=0.0,
+        )
+    )
+    mdac = Mdac(
+        unit_capacitance=0.225e-12,
+        ratio_error=0.0,
+        opamp=opamp,
+        load_capacitance=0.34e-12,
+        summing_parasitic=0.0,
+        settle_time=2.95e-9,
+        include_settling=False,
+        include_noise=False,
+        include_sampling_noise=False,
+    )
+    subadc = SubAdc(1.0, clean, np.random.default_rng(0))
+    return PipelineStage(index=0, subadc=subadc, mdac=mdac)
+
+
+class TestPipelineStage:
+    def test_process_implements_residue_law(self, stage, rng):
+        """Residue = 2*v - d for the ideal stage, with d chosen by the
+        +-Vref/4 thresholds."""
+        point = OperatingPoint()
+        v = np.array([-0.6, -0.1, 0.1, 0.6])
+        output = stage.process(v, np.ones(4), point, rng)
+        assert list(output.codes) == [-1, 0, 0, 1]
+        assert output.residues == pytest.approx(
+            [2 * -0.6 + 1, -0.2, 0.2, 2 * 0.6 - 1], abs=1e-9
+        )
+
+    def test_residue_bounded_for_inband_input(self, stage, rng):
+        point = OperatingPoint()
+        v = np.linspace(-1, 1, 1001)
+        output = stage.process(v, np.ones(1001), point, rng)
+        assert np.all(np.abs(output.residues) <= 1.0 + 1e-9)
+
+    def test_describe(self, stage):
+        info = stage.describe()
+        assert info["index"] == 0
+        assert info["ideal_gain"] == pytest.approx(2.0)
+        assert info["feedback_factor"] == pytest.approx(0.5)
+        assert len(info["comparator_offsets"]) == 2

@@ -1,0 +1,75 @@
+"""Tests for repro.signal.static_params."""
+
+import numpy as np
+import pytest
+
+from repro.core.behavioral import ideal_transfer_codes
+from repro.errors import AnalysisError
+from repro.signal.static_params import extract_static_parameters
+
+
+def capture(transfer=lambda v: v, n=40000, overdrive=1.05):
+    v = np.linspace(-overdrive, overdrive, n)
+    codes = ideal_transfer_codes(transfer(v), 1.0, 12)
+    return v, codes
+
+
+class TestExtraction:
+    def test_ideal_transfer_is_clean(self):
+        v, codes = capture()
+        params = extract_static_parameters(v, codes, 1.0, 12)
+        assert abs(params.offset_lsb) < 0.1
+        assert abs(params.gain_error_fraction) < 1e-3
+        assert params.fit_rms_lsb < 0.5  # quantization only
+
+    def test_detects_offset(self):
+        v, codes = capture(lambda v: v + 0.01)  # +20.5 LSB of offset
+        params = extract_static_parameters(v, codes, 1.0, 12)
+        assert params.offset_lsb == pytest.approx(20.5, abs=1.0)
+
+    def test_detects_gain_error(self):
+        v, codes = capture(lambda v: 0.99 * v)
+        params = extract_static_parameters(v, codes, 1.0, 12)
+        assert params.gain_error_fraction == pytest.approx(-0.01, abs=1e-3)
+
+    def test_offset_sign_convention(self):
+        v, codes = capture(lambda v: v - 0.005)
+        params = extract_static_parameters(v, codes, 1.0, 12)
+        assert params.offset_lsb < -5
+
+    def test_clipping_excluded(self):
+        """Heavy overdrive must not corrupt the fit."""
+        v, codes = capture(overdrive=1.4)
+        params = extract_static_parameters(v, codes, 1.0, 12)
+        assert abs(params.gain_error_fraction) < 2e-3
+
+    def test_summary(self):
+        v, codes = capture()
+        text = extract_static_parameters(v, codes, 1.0, 12).summary()
+        assert "offset" in text and "gain error" in text
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(AnalysisError):
+            extract_static_parameters(
+                np.zeros(100), np.zeros(99), 1.0, 12
+            )
+
+    def test_rejects_fully_clipped(self):
+        v = np.linspace(2.0, 3.0, 1000)
+        codes = ideal_transfer_codes(v, 1.0, 12)
+        with pytest.raises(AnalysisError):
+            extract_static_parameters(v, codes, 1.0, 12)
+
+
+class TestOnTheConverter:
+    def test_paper_die_static_parameters(self, paper_adc, paper_config):
+        """The model die: sub-LSB-scale offset, sub-percent gain error
+        (reference sag + droop + finite gain)."""
+        v = np.linspace(-1.02, 1.02, 4096 * 10)
+        result = paper_adc.convert_samples(v)
+        params = extract_static_parameters(
+            v, result.codes, paper_config.vref, paper_config.resolution
+        )
+        assert abs(params.offset_lsb) < 8.0
+        assert abs(params.gain_error_fraction) < 0.01
+        assert params.fit_rms_lsb < 2.0

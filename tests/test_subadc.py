@@ -1,0 +1,58 @@
+"""Tests for repro.core.subadc."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subadc import SubAdc
+from repro.devices.comparator import ComparatorParameters
+from repro.errors import ConfigurationError
+
+
+def clean_parameters():
+    return ComparatorParameters(
+        offset_sigma=0.0, noise_rms=0.0, hysteresis=0.0, metastability_window=0.0
+    )
+
+
+class TestSubAdc:
+    def test_ideal_decisions(self, rng):
+        adsc = SubAdc(1.0, clean_parameters(), np.random.default_rng(0))
+        v = np.array([-0.9, -0.26, -0.24, 0.0, 0.24, 0.26, 0.9])
+        codes = adsc.decide(v, rng)
+        assert list(codes) == [-1, -1, 0, 0, 0, 1, 1]
+
+    def test_codes_in_range(self, rng):
+        adsc = SubAdc(
+            1.0, ComparatorParameters(offset_sigma=0.05), np.random.default_rng(3)
+        )
+        codes = adsc.decide(np.random.default_rng(0).uniform(-1.5, 1.5, 5000), rng)
+        assert codes.min() >= -1 and codes.max() <= 1
+
+    def test_redundancy_margin(self):
+        adsc = SubAdc(1.0, clean_parameters(), np.random.default_rng(0))
+        assert adsc.redundancy_margin() == pytest.approx(0.25)
+
+    def test_offsets_frozen(self, rng):
+        adsc = SubAdc(
+            1.0, ComparatorParameters(offset_sigma=8e-3), np.random.default_rng(9)
+        )
+        first = adsc.offsets
+        adsc.decide(np.zeros(10), rng)
+        assert adsc.offsets == first
+        assert len(first) == 2
+
+    def test_rejects_bad_vref(self):
+        with pytest.raises(ConfigurationError):
+            SubAdc(0.0, clean_parameters(), np.random.default_rng(0))
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_monotone_in_input(self, v):
+        """A slightly larger input never yields a smaller code."""
+        adsc = SubAdc(1.0, clean_parameters(), np.random.default_rng(1))
+        rng = np.random.default_rng(0)
+        lo = adsc.decide(np.array([v - 1e-6]), rng)[0]
+        hi = adsc.decide(np.array([v + 1e-6]), rng)[0]
+        assert hi >= lo

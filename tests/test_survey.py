@@ -1,0 +1,102 @@
+"""Tests for repro.evaluation.survey — the Fig. 8 dataset."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.survey import (
+    SurveyEntry,
+    full_survey,
+    survey_entries,
+    this_design_entry,
+)
+
+
+class TestDataset:
+    def test_fifteen_converters_total(self):
+        assert len(full_survey()) == 15
+
+    def test_named_references_present(self):
+        names = {e.name for e in survey_entries()}
+        assert any("Zjajo" in n for n in names)
+        assert any("Kulhalli" in n for n in names)
+        assert any("Ploeg" in n for n in names)
+
+    def test_sources_labeled(self):
+        published = [e for e in survey_entries() if e.source == "published"]
+        assert len(published) == 3
+        assert all(
+            e.source in ("published", "reconstructed")
+            for e in survey_entries()
+        )
+
+    def test_this_design_defaults_to_table1(self):
+        ours = this_design_entry()
+        assert ours.enob_bits == pytest.approx(10.4)
+        assert ours.power == pytest.approx(97e-3)
+        assert ours.area == pytest.approx(0.86e-6)
+        assert ours.source == "this-work"
+
+
+class TestPaperClaims:
+    def test_highest_fm(self):
+        entries = full_survey()
+        ours = next(e for e in entries if e.source == "this-work")
+        others = [e for e in entries if e.source != "this-work"]
+        assert ours.figure_of_merit > max(e.figure_of_merit for e in others)
+
+    def test_second_lowest_area(self):
+        ranked = sorted(full_survey(), key=lambda e: e.area)
+        assert ranked[1].source == "this-work"
+
+    def test_two_18v_converters(self):
+        low_voltage = [e for e in full_survey() if e.supply_voltage <= 1.9]
+        assert len(low_voltage) == 2
+
+    def test_named_refs_are_nearest_in_fm(self):
+        others = sorted(
+            survey_entries(), key=lambda e: e.figure_of_merit, reverse=True
+        )
+        top3 = {e.name for e in others[:3]}
+        named = {e.name for e in survey_entries() if e.source == "published"}
+        assert len(top3 & named) >= 2
+
+    def test_supply_groups_cover_fig8_legend(self):
+        """Fig. 8 groups by 1.8, 2.5-2.7, 3-3.3, 5 and 10 V supplies."""
+        supplies = {e.supply_voltage for e in full_survey()}
+        assert any(v <= 1.9 for v in supplies)
+        assert any(2.4 <= v <= 2.8 for v in supplies)
+        assert any(2.9 <= v <= 3.4 for v in supplies)
+        assert any(v == 5.0 for v in supplies)
+        assert any(v == 10.0 for v in supplies)
+
+
+class TestEntryValidation:
+    def test_inverse_area(self):
+        entry = this_design_entry()
+        assert entry.inverse_area_mm2 == pytest.approx(1 / 0.86, rel=1e-6)
+
+    def test_rejects_nonpositive_specs(self):
+        with pytest.raises(ConfigurationError):
+            SurveyEntry(
+                name="bad",
+                year=2000,
+                venue="ISSCC",
+                supply_voltage=3.3,
+                enob_bits=10.0,
+                conversion_rate=0.0,
+                power=0.1,
+                area=1e-6,
+            )
+
+    def test_rejects_silly_enob(self):
+        with pytest.raises(ConfigurationError):
+            SurveyEntry(
+                name="bad",
+                year=2000,
+                venue="ISSCC",
+                supply_voltage=3.3,
+                enob_bits=25.0,
+                conversion_rate=1e8,
+                power=0.1,
+                area=1e-6,
+            )

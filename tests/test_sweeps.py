@@ -1,0 +1,57 @@
+"""Tests for repro.evaluation.sweeps."""
+
+import pytest
+
+from repro.errors import ModelDomainError
+from repro.evaluation.sweeps import SweepPoint, extract, sweep
+
+
+class TestSweep:
+    def test_evaluates_in_order(self):
+        points = sweep([1, 2, 3], lambda x: x * 2)
+        assert [p.parameter for p in points] == [1, 2, 3]
+        assert [p.result for p in points] == [2, 4, 6]
+        assert all(p.ok for p in points)
+
+    def test_raises_by_default(self):
+        def evaluate(x):
+            if x > 2:
+                raise ModelDomainError("too fast")
+            return x
+
+        with pytest.raises(ModelDomainError):
+            sweep([1, 2, 3], evaluate)
+
+    def test_continue_on_error_records_failures(self):
+        def evaluate(x):
+            if x > 2:
+                raise ModelDomainError("too fast")
+            return x
+
+        points = sweep([1, 2, 3, 4], evaluate, continue_on_error=True)
+        assert [p.ok for p in points] == [True, True, False, False]
+        assert "too fast" in points[2].error
+
+    def test_non_repro_errors_always_propagate(self):
+        def evaluate(x):
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            sweep([1], evaluate, continue_on_error=True)
+
+
+class TestExtract:
+    def test_skips_failures(self):
+        points = [
+            SweepPoint(parameter=1.0, result=10.0),
+            SweepPoint(parameter=2.0, result=None, error="boom"),
+            SweepPoint(parameter=3.0, result=30.0),
+        ]
+        xs, ys = extract(points, lambda r: r)
+        assert xs == [1.0, 3.0]
+        assert ys == [10.0, 30.0]
+
+    def test_getter_applied(self):
+        points = [SweepPoint(parameter=1.0, result={"snr": 67.0})]
+        xs, ys = extract(points, lambda r: r["snr"])
+        assert ys == [67.0]

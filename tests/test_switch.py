@@ -1,0 +1,143 @@
+"""Tests for repro.devices.switch — the paper's switch-style argument."""
+
+import numpy as np
+import pytest
+
+from repro.devices.switch import (
+    BootstrappedSwitch,
+    BulkSwitchedTransmissionGate,
+    NmosSwitch,
+    TransmissionGate,
+)
+from repro.errors import ConfigurationError, ModelDomainError
+from repro.technology.corners import OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def point():
+    return OperatingPoint()
+
+
+@pytest.fixture(scope="module")
+def plain(point):
+    return TransmissionGate(
+        nmos_width=7e-6, pmos_width=21e-6, length=0.18e-6, operating_point=point
+    )
+
+
+@pytest.fixture(scope="module")
+def bulk(point):
+    return BulkSwitchedTransmissionGate(
+        nmos_width=7e-6, pmos_width=21e-6, length=0.18e-6, operating_point=point
+    )
+
+
+@pytest.fixture(scope="module")
+def boot(point):
+    return BootstrappedSwitch(
+        width=7e-6, length=0.18e-6, operating_point=point
+    )
+
+
+@pytest.fixture(scope="module")
+def swing():
+    """Single-ended node voltages covering the paper's 2 Vpp swing."""
+    return np.linspace(0.4, 1.4, 41)
+
+
+class TestConductance:
+    def test_positive_over_swing(self, plain, bulk, boot, swing):
+        for switch in (plain, bulk, boot):
+            assert np.all(switch.conductance(swing) > 0)
+
+    def test_bulk_switching_lowers_on_resistance(self, plain, bulk, swing):
+        """Removing the PMOS body effect must strictly help wherever the
+        PMOS conducts — the paper's stated reason for bulk switching."""
+        r_plain = plain.on_resistance(swing)
+        r_bulk = bulk.on_resistance(swing)
+        assert np.all(r_bulk <= r_plain + 1e-12)
+        assert r_bulk.mean() < 0.9 * r_plain.mean()
+
+    def test_bootstrap_is_flattest(self, plain, bulk, boot, swing):
+        """Constant-Vgs bootstrapping minimizes Ron variation — the
+        linearity the paper gave up for reliability."""
+
+        def variation(switch):
+            r = switch.on_resistance(swing)
+            return (r.max() - r.min()) / r.mean()
+
+        assert variation(boot) < variation(bulk) < variation(plain)
+
+    def test_rejects_voltage_outside_rails(self, bulk):
+        with pytest.raises(ModelDomainError):
+            bulk.conductance(np.array([2.5]))
+        with pytest.raises(ModelDomainError):
+            bulk.conductance(np.array([-0.5]))
+
+    def test_nmos_switch_strong_at_common_mode(self, point):
+        """S1B sits at V_CM where a bare NMOS is plenty."""
+        s1b = NmosSwitch(width=4e-6, length=0.18e-6, operating_point=point)
+        g_cm = float(s1b.conductance(np.array([0.9]))[0])
+        g_high = float(s1b.conductance(np.array([1.5]))[0])
+        assert g_cm > 5 * g_high
+
+    def test_rejects_bad_dimensions(self, point):
+        with pytest.raises(ConfigurationError):
+            NmosSwitch(width=0.0, length=0.18e-6, operating_point=point)
+        with pytest.raises(ConfigurationError):
+            TransmissionGate(
+                nmos_width=1e-6,
+                pmos_width=-1e-6,
+                length=0.18e-6,
+                operating_point=point,
+            )
+
+
+class TestTimeConstant:
+    def test_finite_over_swing(self, bulk, swing):
+        tau = bulk.time_constant(swing, 0.45e-12)
+        assert np.all(np.isfinite(tau))
+        assert np.all(tau > 0)
+
+    def test_scales_with_load(self, bulk, swing):
+        tau_small = bulk.time_constant(swing, 0.2e-12)
+        tau_big = bulk.time_constant(swing, 2e-12)
+        assert np.all(tau_big > tau_small)
+
+    def test_rejects_nonpositive_load(self, bulk, swing):
+        with pytest.raises(ConfigurationError):
+            bulk.time_constant(swing, 0.0)
+
+    def test_tracking_bandwidth_ghz_scale(self, bulk):
+        """The input network must track a 110 MS/s input: tau of tens of
+        picoseconds, i.e. multi-GHz tracking bandwidth."""
+        tau = float(bulk.time_constant(np.array([0.9]), 0.45e-12)[0])
+        assert 5e-12 < tau < 200e-12
+
+
+class TestParasitics:
+    def test_parasitic_positive_and_voltage_dependent(self, plain, swing):
+        c = plain.parasitic_capacitance(swing)
+        assert np.all(c > 0)
+        assert c.max() > c.min()
+
+    def test_bulk_switching_flattens_pmos_junction(self, plain, bulk, swing):
+        """Tying the well to the source removes the PMOS junction's
+        voltage dependence."""
+
+        def variation(switch):
+            c = switch.parasitic_capacitance(swing)
+            return (c.max() - c.min()) / c.mean()
+
+        assert variation(bulk) < variation(plain)
+
+    def test_charge_injection_odd_symmetric(self, bulk):
+        """A complementary TG injects near-zero at mid-supply, opposite
+        signs at the extremes."""
+        q = bulk.charge_injection(np.array([0.4, 0.9, 1.4]))
+        assert abs(q[1]) < 0.4 * max(abs(q[0]), abs(q[2]))
+        assert np.sign(q[0]) != np.sign(q[2])
+
+    def test_bootstrap_charge_nearly_constant(self, boot, swing):
+        q = boot.charge_injection(swing)
+        assert (q.max() - q.min()) < 0.2 * abs(q).max()

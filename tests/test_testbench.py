@@ -1,0 +1,70 @@
+"""Tests for repro.evaluation.testbench."""
+
+import pytest
+
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+from repro.evaluation.testbench import (
+    DynamicTestbench,
+    PowerTestbench,
+    StaticTestbench,
+)
+
+
+@pytest.fixture(scope="module")
+def dynamic(paper_config):
+    return DynamicTestbench(paper_config, n_samples=2048, die_seed=1)
+
+
+class TestDynamicTestbench:
+    def test_nominal_point_in_band(self, dynamic):
+        metrics = dynamic.measure(110e6, 10e6)
+        assert 64 < metrics.snr_db < 70
+        assert 61 < metrics.sndr_db < 68
+
+    def test_rate_sweep_caps_tone_frequency(self, dynamic):
+        points = dynamic.measure_rate_sweep([20e6, 110e6])
+        # At 20 MS/s the 10 MHz tone would be super-Nyquist; the bench
+        # must have dropped it below 0.23 * rate.
+        assert points[0].fundamental_frequency < 0.25 * 20e6
+        assert points[1].fundamental_frequency == pytest.approx(10e6, rel=0.05)
+
+    def test_frequency_sweep_lengths(self, dynamic):
+        points = dynamic.measure_frequency_sweep([5e6, 40e6], 110e6)
+        assert len(points) == 2
+
+    def test_rejects_tiny_records(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            DynamicTestbench(paper_config, n_samples=64)
+
+    def test_rejects_bad_amplitude(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            DynamicTestbench(paper_config, amplitude_fraction=1.5)
+
+
+class TestStaticTestbench:
+    def test_linearity_in_band(self, paper_config):
+        bench = StaticTestbench(paper_config, samples_per_code=16, die_seed=1)
+        result = bench.measure(110e6)
+        assert result.monotonic
+        assert max(abs(result.dnl_min), abs(result.dnl_max)) < 1.5
+        assert max(abs(result.inl_min), abs(result.inl_max)) < 2.5
+
+    def test_rejects_thin_sampling(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            StaticTestbench(paper_config, samples_per_code=4)
+
+    def test_rejects_bad_overdrive(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            StaticTestbench(paper_config, overdrive=0.5)
+
+
+class TestPowerTestbench:
+    def test_measure(self, paper_config):
+        bench = PowerTestbench(paper_config)
+        assert bench.measure(110e6).total == pytest.approx(97e-3, rel=0.05)
+
+    def test_sweep(self, paper_config):
+        bench = PowerTestbench(paper_config)
+        series = bench.measure_sweep([20e6, 110e6])
+        assert series[0].total < series[1].total

@@ -1,0 +1,102 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestEng:
+    def test_milliwatts(self):
+        assert units.eng(97e-3, "W") == "97mW"
+
+    def test_picofarads(self):
+        assert units.eng(1.6e-12, "F") == "1.6pF"
+
+    def test_megahertz(self):
+        assert units.eng(110e6, "Hz") == "110MHz"
+
+    def test_zero(self):
+        assert units.eng(0.0, "V") == "0V"
+
+    def test_negative(self):
+        assert units.eng(-2.5e-3, "A") == "-2.5mA"
+
+    def test_unity(self):
+        assert units.eng(1.8, "V") == "1.8V"
+
+    def test_infinite(self):
+        assert "inf" in units.eng(math.inf, "V")
+
+    def test_below_atto_falls_back(self):
+        text = units.eng(3e-21, "F")
+        assert "e-21" in text
+
+    @given(st.floats(min_value=1e-17, max_value=1e13))
+    def test_roundtrip_magnitude(self, value):
+        """The rendered mantissa always lands in [1, 1000)."""
+        text = units.eng(value, "", digits=6)
+        mantissa = float(
+            "".join(c for c in text if (c.isdigit() or c in ".-e+"))
+            .rstrip("e")
+        )
+        assert 0.999 <= abs(mantissa) < 1000.001
+
+
+class TestDb:
+    def test_db_power(self):
+        assert units.db(100.0) == pytest.approx(20.0)
+
+    def test_db_amplitude(self):
+        assert units.db_amplitude(10.0) == pytest.approx(20.0)
+
+    def test_undb_inverts_db(self):
+        assert units.undb(units.db(42.0)) == pytest.approx(42.0)
+
+    def test_undb_amplitude_inverts(self):
+        assert units.undb_amplitude(
+            units.db_amplitude(0.31)
+        ) == pytest.approx(0.31)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+    def test_db_amplitude_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.db_amplitude(-1.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_db_monotone(self, ratio):
+        assert units.undb(units.db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+
+class TestEnob:
+    def test_paper_enob(self):
+        """The paper's SNDR of 64.2 dB is ENOB 10.4."""
+        assert units.enob_from_sndr(64.2) == pytest.approx(10.37, abs=0.01)
+
+    def test_ten_bits_is_62db(self):
+        """The paper equates 62 dB SNDR with 10 effective bits."""
+        assert units.sndr_from_enob(10.0) == pytest.approx(61.96, abs=0.01)
+
+    @given(st.floats(min_value=0, max_value=120))
+    def test_roundtrip(self, sndr):
+        assert units.sndr_from_enob(
+            units.enob_from_sndr(sndr)
+        ) == pytest.approx(sndr, abs=1e-9)
+
+
+class TestTemperature:
+    def test_room(self):
+        assert units.celsius_to_kelvin(27.0) == pytest.approx(300.15)
+
+    def test_rejects_below_absolute_zero(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(-300.0)
+
+    def test_kt_room_value(self):
+        assert units.KT_ROOM == pytest.approx(4.14e-21, rel=0.01)

@@ -1,0 +1,58 @@
+"""Tests for repro.signal.windows."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.signal.windows import (
+    Window,
+    coherent_gain,
+    noise_bandwidth_bins,
+    window_function,
+)
+
+
+class TestWindows:
+    def test_rectangular_is_ones(self):
+        w = window_function(Window.RECTANGULAR, 64)
+        assert np.all(w == 1.0)
+
+    def test_hann_endpoints_zero(self):
+        w = window_function(Window.HANN, 128)
+        assert w[0] == pytest.approx(0.0, abs=1e-12)
+        assert w.max() <= 1.0
+
+    def test_blackman_harris_sidelobes(self):
+        """BH4 sidelobes below -90 dB."""
+        n = 1024
+        w = window_function(Window.BLACKMAN_HARRIS, n)
+        spectrum = np.abs(np.fft.rfft(w, 16 * n))
+        main = spectrum.max()
+        # Skip the main lobe (first ~4*16 bins).
+        sidelobes = spectrum[80:]
+        assert 20 * np.log10(sidelobes.max() / main) < -90
+
+    def test_coherent_gain(self):
+        assert coherent_gain(window_function(Window.RECTANGULAR, 64)) == 1.0
+        assert coherent_gain(window_function(Window.HANN, 4096)) == pytest.approx(
+            0.5, abs=1e-3
+        )
+
+    def test_noise_bandwidth(self):
+        assert noise_bandwidth_bins(
+            window_function(Window.RECTANGULAR, 256)
+        ) == pytest.approx(1.0)
+        assert noise_bandwidth_bins(
+            window_function(Window.HANN, 4096)
+        ) == pytest.approx(1.5, abs=0.01)
+
+    def test_main_lobe_widths_ordered(self):
+        assert (
+            Window.RECTANGULAR.main_lobe_bins
+            < Window.HANN.main_lobe_bins
+            < Window.BLACKMAN_HARRIS.main_lobe_bins
+        )
+
+    def test_rejects_tiny_records(self):
+        with pytest.raises(AnalysisError):
+            window_function(Window.HANN, 2)
