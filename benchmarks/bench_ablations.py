@@ -4,7 +4,6 @@ Each bench removes one of the paper's four tricks (stage scaling,
 non-overlap removal, bulk-switched gates, the SC bias generator) and
 prints what the trick was buying."""
 
-import pytest
 
 from benchmarks.conftest import run_and_report
 

@@ -11,8 +11,6 @@ Run with::
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.registry import ExperimentResult, run_experiment
 
 

@@ -21,9 +21,9 @@ from repro import (
     SineGenerator,
     SpectrumAnalyzer,
 )
-from repro.signal.imd import TwoToneAnalyzer
 from repro.evaluation.reporting import format_table
 from repro.signal.coherent import coherent_frequency
+from repro.signal.imd import TwoToneAnalyzer
 
 
 def single_carrier_table(adc, rate, n_samples):

@@ -6,91 +6,72 @@ production team would verify that with a Monte Carlo yield run: many
 dies, random corners, temperatures, supplies, absolute capacitor spread
 and local mismatch, each measured against the datasheet spec.
 
-This example runs that loop on the behavioral model and reports the
-ENOB/DNL distributions and the yield against a 10-ENOB, DNL < 1.5 LSB
-spec at 110 MS/s.
+This example routes that workload through the parallel batch runtime
+(`repro.runtime`) and reports the ENOB/DNL distributions and the yield
+against a configurable spec.  The same run is available as the
+``repro mc`` CLI subcommand.
 
-Run:  python examples/montecarlo_yield.py [n_dies]
+Run:  python examples/montecarlo_yield.py [n_dies] [--workers N]
+          [--rate HZ] [--spec-enob BITS] [--spec-dnl LSB] [--seed N]
 """
 
-import sys
+import argparse
 
-import numpy as np
-
-from repro import AdcConfig, PipelineAdc, SineGenerator, SpectrumAnalyzer
-from repro.evaluation.reporting import format_table
-from repro.signal.linearity import ramp_linearity
-from repro.technology.montecarlo import MonteCarloSampler
-
-SPEC_ENOB = 10.0
-SPEC_DNL = 1.5
+from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
 
 
-def measure_die(die, config, n_samples=4096):
-    adc = PipelineAdc(
-        config,
-        conversion_rate=110e6,
-        operating_point=die.operating_point,
-        seed=die.seed,
+def parse_args(argv=None) -> argparse.Namespace:
+    defaults = YieldSpec()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "n_dies", nargs="?", type=int, default=24, help="die count (default 24)"
     )
-    tone = SineGenerator.coherent(10e6, 110e6, n_samples, amplitude=0.995)
-    metrics = SpectrumAnalyzer().analyze(adc.convert(tone, n_samples).codes, 110e6)
-    ramp = np.linspace(-1.02, 1.02, 4096 * 16)
-    linearity = ramp_linearity(adc.convert_samples(ramp).codes, 4096)
-    dnl_peak = max(abs(linearity.dnl_min), abs(linearity.dnl_max))
-    return metrics.enob_bits, dnl_peak, metrics.sndr_db
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; metrics are identical for any value",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=defaults.conversion_rate,
+        help=f"conversion rate [Hz] (default {defaults.conversion_rate:.0f})",
+    )
+    parser.add_argument(
+        "--spec-enob",
+        type=float,
+        default=defaults.min_enob,
+        help=f"minimum ENOB spec limit (default {defaults.min_enob})",
+    )
+    parser.add_argument(
+        "--spec-dnl",
+        type=float,
+        default=defaults.max_dnl_lsb,
+        help=f"maximum |DNL| spec limit in LSB (default {defaults.max_dnl_lsb})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=2026,
+        help="master seed; replays the identical die set (default 2026)",
+    )
+    return parser.parse_args(argv)
 
 
 def main() -> None:
-    n_dies = int(sys.argv[1]) if len(sys.argv) > 1 else 24
-    config = AdcConfig.paper_default()
-    sampler = MonteCarloSampler(
-        technology=config.technology,
-        temperature_range_c=(-40.0, 85.0),
-        supply_tolerance=0.05,
+    args = parse_args()
+    report = run_yield_analysis(
+        n_dies=args.n_dies,
+        seed=args.seed,
+        spec=YieldSpec(
+            min_enob=args.spec_enob,
+            max_dnl_lsb=args.spec_dnl,
+            conversion_rate=args.rate,
+        ),
+        workers=args.workers,
     )
-    dies = sampler.sample(n_dies, np.random.default_rng(2026))
-
-    enobs, dnls, rows = [], [], []
-    passing = 0
-    for die in dies:
-        enob, dnl_peak, sndr = measure_die(die, config)
-        enobs.append(enob)
-        dnls.append(dnl_peak)
-        ok = enob >= SPEC_ENOB and dnl_peak <= SPEC_DNL
-        passing += ok
-        point = die.operating_point
-        rows.append(
-            (
-                die.index,
-                point.corner.value.upper(),
-                f"{point.temperature_c:.0f}",
-                f"{point.cap_scale:.2f}",
-                f"{sndr:.1f}",
-                f"{enob:.2f}",
-                f"{dnl_peak:.2f}",
-                "pass" if ok else "FAIL",
-            )
-        )
-
-    print(
-        format_table(
-            ("die", "corner", "T [C]", "C scale", "SNDR [dB]", "ENOB",
-             "|DNL| [LSB]", "spec"),
-            rows,
-            title=f"--- {n_dies} Monte Carlo dies at 110 MS/s ---",
-        )
-    )
-    print()
-    print(
-        f"ENOB: median {np.median(enobs):.2f}, "
-        f"min {min(enobs):.2f}, max {max(enobs):.2f}"
-    )
-    print(f"|DNL|: median {np.median(dnls):.2f} LSB, worst {max(dnls):.2f} LSB")
-    print(
-        f"yield against ENOB >= {SPEC_ENOB} and |DNL| <= {SPEC_DNL} LSB: "
-        f"{passing}/{n_dies} ({100 * passing / n_dies:.0f}%)"
-    )
+    print(report.render())
 
 
 if __name__ == "__main__":

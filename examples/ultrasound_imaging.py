@@ -19,7 +19,6 @@ import math
 import numpy as np
 
 from repro import AdcConfig, PipelineAdc, PowerModel
-from repro.core.adc import DifferentialSignal
 
 
 class PulseEchoLine:

@@ -12,7 +12,7 @@ sensitivity, and a corner-dependent untrimmed offset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.technology.corners import Corner, OperatingPoint

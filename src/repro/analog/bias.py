@@ -29,7 +29,6 @@ is included as the ablation baseline.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -17,7 +17,6 @@ to a nonzero intercept at f_CR = 0.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

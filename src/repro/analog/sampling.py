@@ -32,8 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ModelDomainError
 from repro.devices.switch import SwitchModel
+from repro.errors import ConfigurationError, ModelDomainError
 from repro.technology.corners import OperatingPoint
 from repro.units import BOLTZMANN
 

@@ -1,11 +1,14 @@
-"""Command-line entry point: run paper experiments from the shell.
+"""Command-line entry point: run paper experiments and batch workloads.
 
 Usage::
 
-    python -m repro list
-    python -m repro table1
-    python -m repro fig4 fig5 --quick
-    python -m repro all
+    repro list
+    repro table1
+    repro fig4 fig5 --quick
+    repro all --workers 4
+    repro mc --dies 16 --workers 4 --json out.json
+
+(``python -m repro`` is equivalent to the installed ``repro`` script.)
 """
 
 from __future__ import annotations
@@ -13,17 +16,26 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.experiments.registry import available_experiments, run_experiment
+from repro.errors import ReproError
+from repro.experiments.registry import (
+    available_experiments,
+    run_experiment_batch,
+)
+from repro.runtime.batch import BatchProgress
+from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
 from repro.version import PAPER, __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
+    """The experiment-run argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro-adc",
-        description=(
-            f"Reproduction experiments for: {PAPER} (repro {__version__})"
+        prog="repro",
+        description=f"Reproduction experiments for: {PAPER} (repro {__version__})",
+        epilog=(
+            "Monte Carlo yield analysis runs as a separate subcommand: "
+            "see 'repro mc --help'."
         ),
     )
     parser.add_argument(
@@ -39,11 +51,155 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fewer samples / sweep points (smoke-test speed)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for multi-experiment runs (default 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch dispatch chunk size (default: auto)",
+    )
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Run the CLI; returns a process exit code."""
+def build_mc_parser() -> argparse.ArgumentParser:
+    """The ``repro mc`` (Monte Carlo yield) argument parser."""
+    defaults = YieldSpec()
+    parser = argparse.ArgumentParser(
+        prog="repro mc",
+        description=(
+            "Monte Carlo yield analysis on the parallel batch runtime: "
+            "many die realizations (random corner, temperature, supply, "
+            "capacitor spread, local mismatch), each screened against a "
+            "datasheet spec."
+        ),
+    )
+    parser.add_argument(
+        "--dies", type=int, default=24, metavar="N", help="die count (default 24)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; identical metrics for any value (default 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dies per dispatch chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=2026,
+        help="master seed; replays the identical die set (default 2026)",
+    )
+    parser.add_argument(
+        "--seed-strategy",
+        choices=("stream", "spawn"),
+        default="stream",
+        help=(
+            "die seed derivation: 'stream' replays the legacy sequential "
+            "draw, 'spawn' makes die i independent of batch size via "
+            "SeedSequence.spawn (default stream)"
+        ),
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=defaults.conversion_rate,
+        metavar="HZ",
+        help=f"conversion rate [Hz] (default {defaults.conversion_rate:.0f})",
+    )
+    parser.add_argument(
+        "--spec-enob",
+        type=float,
+        default=defaults.min_enob,
+        metavar="BITS",
+        help=f"minimum ENOB spec limit (default {defaults.min_enob})",
+    )
+    parser.add_argument(
+        "--spec-dnl",
+        type=float,
+        default=defaults.max_dnl_lsb,
+        metavar="LSB",
+        help=f"maximum |DNL| spec limit (default {defaults.max_dnl_lsb})",
+    )
+    parser.add_argument(
+        "--fft-points",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="coherent capture length per die (default 4096)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the BatchResult document (per-die metrics, summary "
+            "statistics, failures) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-die progress to stderr",
+    )
+    return parser
+
+
+def _stderr_progress(update: BatchProgress) -> None:
+    print(
+        f"\r{update.done}/{update.total} tasks "
+        f"({update.failed} failed, {update.elapsed_s:.1f} s)",
+        end="" if update.done < update.total else "\n",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def run_mc(argv: Sequence[str] | None = None) -> int:
+    """Run the ``mc`` subcommand; returns a process exit code."""
+    args = build_mc_parser().parse_args(argv)
+    spec = YieldSpec(
+        min_enob=args.spec_enob,
+        max_dnl_lsb=args.spec_dnl,
+        conversion_rate=args.rate,
+    )
+    report = run_yield_analysis(
+        n_dies=args.dies,
+        seed=args.seed,
+        spec=spec,
+        n_fft=args.fft_points,
+        seed_strategy=args.seed_strategy,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        progress=_stderr_progress if args.progress else None,
+    )
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(report.to_json())
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    return 1 if report.batch.failures else 0
+
+
+def run_experiments(argv: Sequence[str]) -> int:
+    """Run the experiment path; returns a process exit code."""
     args = build_parser().parse_args(argv)
     requested = list(args.experiments)
 
@@ -54,23 +210,63 @@ def main(argv: Sequence[str] | None = None) -> int:
     if "all" in requested:
         requested = available_experiments()
 
-    known = set(available_experiments())
-    unknown = [e for e in requested if e not in known]
-    if unknown:
-        print(
-            f"unknown experiment(s): {', '.join(unknown)}; "
-            f"available: {', '.join(sorted(known))}",
-            file=sys.stderr,
-        )
-        return 2
+    # Unknown ids are rejected by run_experiment_batch; main() turns
+    # the ConfigurationError into the stderr message and exit code 2.
 
+    # Stream results in submission order as soon as each experiment
+    # finishes (out-of-order completions from the pool are held back
+    # until their turn) — a long `repro all` reports incrementally.
+    printed: dict[int, object] = {}
+    next_index = 0
     all_passed = True
-    for experiment_id in requested:
-        result = run_experiment(experiment_id, quick=args.quick)
-        print(result.render())
+
+    def emit(outcome) -> None:
+        nonlocal all_passed
+        if not outcome.ok:
+            print(
+                f"experiment '{requested[outcome.index]}' failed: "
+                f"{outcome.error_type}: {outcome.error}",
+                file=sys.stderr,
+            )
+            all_passed = False
+            return
+        print(outcome.value.render())
         print()
-        all_passed = all_passed and result.all_passed
+        all_passed = all_passed and outcome.value.all_passed
+
+    def on_progress(update) -> None:
+        nonlocal next_index
+        if update.latest is None:
+            return
+        printed[update.latest.index] = update.latest
+        while next_index in printed:
+            emit(printed.pop(next_index))
+            next_index += 1
+
+    batch = run_experiment_batch(
+        requested,
+        quick=args.quick,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        progress=on_progress,
+    )
+    # Safety net: emit anything the progress hook did not cover.
+    for outcome in batch.outcomes:
+        if outcome.index >= next_index:
+            emit(outcome)
     return 0 if all_passed else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if arguments and arguments[0] == "mc":
+            return run_mc(arguments[1:])
+        return run_experiments(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -44,5 +44,6 @@ __all__ = [
     "ScalingPlan",
     "StageConfig",
     "SubAdc",
+    "SwitchStyle",
     "ideal_transfer_codes",
 ]

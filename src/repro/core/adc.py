@@ -35,7 +35,7 @@ from repro.devices.switch import (
     SwitchModel,
     TransmissionGate,
 )
-from repro.errors import ConfigurationError, ModelDomainError
+from repro.errors import ConfigurationError
 from repro.technology.capacitor import CapacitorMismatchModel
 from repro.technology.corners import OperatingPoint
 

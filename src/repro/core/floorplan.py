@@ -20,7 +20,7 @@ is what the ablations consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError

@@ -20,7 +20,7 @@ drivers are off-budget here too).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError

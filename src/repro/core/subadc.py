@@ -11,8 +11,6 @@ comparators can be tiny dynamic latches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.devices.comparator import (

@@ -19,10 +19,10 @@ Square-law consequences worth noting (they shape paper Fig. 5):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ModelDomainError
 from repro.devices.opamp import OpampParameters, TwoStageMillerOpamp
+from repro.errors import ConfigurationError, ModelDomainError
 from repro.technology.corners import OperatingPoint
 from repro.technology.mosfet import Mosfet, MosPolarity
 

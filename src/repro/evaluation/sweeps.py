@@ -12,6 +12,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ReproError
+from repro.runtime.batch import BatchRunner, TaskOutcome
 
 
 @dataclass(frozen=True)
@@ -38,20 +39,29 @@ def sweep(
     parameters: Iterable[float],
     evaluate: Callable[[float], object],
     continue_on_error: bool = False,
+    runner: BatchRunner | None = None,
 ) -> list[SweepPoint]:
     """Evaluate a function over a parameter list.
 
     Args:
         parameters: the sweep values.
-        evaluate: point evaluator.
+        evaluate: point evaluator.  Must be picklable (a module-level
+            function) when dispatching to a ``runner`` with more than
+            one worker.
         continue_on_error: when True, a :class:`ReproError` at one point
             is recorded and the sweep continues — used for sweeps that
             intentionally run into a model's validity wall (e.g. pushing
             f_CR until no settling window remains).
+        runner: when given, points are dispatched through the batch
+            runtime (parallel for ``workers > 1``); when None, the
+            classic lazy serial loop runs, which stops evaluating at
+            the first error if ``continue_on_error`` is False.
 
     Returns:
         One :class:`SweepPoint` per parameter, in order.
     """
+    if runner is not None:
+        return _sweep_batched(parameters, evaluate, continue_on_error, runner)
     points = []
     for parameter in parameters:
         value = float(parameter)
@@ -63,6 +73,73 @@ def sweep(
             points.append(
                 SweepPoint(parameter=value, result=None, error=str(error))
             )
+    return points
+
+
+def _evaluate_point(task: tuple[float, Callable[[float], object]]) -> object:
+    """Picklable batch task: evaluate one sweep point."""
+    parameter, evaluate = task
+    return evaluate(parameter)
+
+
+def _repro_error_names() -> set[str]:
+    """Class names of ReproError and all its (transitive) subclasses."""
+    names, stack = set(), [ReproError]
+    while stack:
+        cls = stack.pop()
+        names.add(cls.__name__)
+        stack.extend(cls.__subclasses__())
+    return names
+
+
+def _is_recoverable(outcome: TaskOutcome) -> bool:
+    """Whether the failure is a ReproError (model-validity wall).
+
+    The exception instance is authoritative when it survived the trip
+    back from the worker; otherwise fall back to the recorded class
+    name, so an unpicklable ReproError subclass is still treated as
+    recoverable rather than aborting the sweep.
+    """
+    if outcome.exception is not None:
+        return isinstance(outcome.exception, ReproError)
+    return outcome.error_type in _repro_error_names()
+
+
+def _reraise(outcome: TaskOutcome) -> None:
+    """Propagate a batch failure the way the serial loop would.
+
+    When the original exception did not survive pickling, raise a
+    stand-in of matching kind: a ReproError for library failures, a
+    RuntimeError for anything else.
+    """
+    if outcome.exception is not None:
+        raise outcome.exception
+    message = f"{outcome.error_type}: {outcome.error}"
+    if outcome.error_type in _repro_error_names():
+        raise ReproError(message)
+    raise RuntimeError(message)
+
+
+def _sweep_batched(
+    parameters: Iterable[float],
+    evaluate: Callable[[float], object],
+    continue_on_error: bool,
+    runner: BatchRunner,
+) -> list[SweepPoint]:
+    """Sweep through the batch runtime; same point semantics as serial."""
+    values = [float(parameter) for parameter in parameters]
+    batch = runner.run(_evaluate_point, [(value, evaluate) for value in values])
+    points = []
+    for outcome in batch.outcomes:
+        value = values[outcome.index]
+        if outcome.ok:
+            points.append(SweepPoint(parameter=value, result=outcome.value))
+            continue
+        if not (_is_recoverable(outcome) and continue_on_error):
+            _reraise(outcome)
+        points.append(
+            SweepPoint(parameter=value, result=None, error=outcome.error)
+        )
     return points
 
 

@@ -10,7 +10,6 @@ large-signal distortion onset.
 
 from __future__ import annotations
 
-import math
 
 from repro.core.config import AdcConfig
 from repro.evaluation.testbench import DynamicTestbench

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from repro.core.config import AdcConfig
 from repro.core.floorplan import Floorplan
-from repro.evaluation.testbench import DynamicTestbench, PowerTestbench
 from repro.evaluation.survey import full_survey, this_design_entry
+from repro.evaluation.testbench import DynamicTestbench, PowerTestbench
 from repro.experiments.registry import ClaimCheck, ExperimentResult, register
 
 

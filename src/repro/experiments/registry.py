@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.evaluation.reporting import format_table
+from repro.runtime.batch import BatchResult, BatchRunner, ProgressCallback
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,53 @@ def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
             f"{', '.join(sorted(_REGISTRY))}"
         )
     return _REGISTRY[experiment_id](quick)
+
+
+def _run_for_batch(task: tuple[str, bool]) -> ExperimentResult:
+    """Picklable batch task: run one registered experiment."""
+    experiment_id, quick = task
+    return run_experiment(experiment_id, quick=quick)
+
+
+def run_experiment_batch(
+    experiment_ids: Iterable[str],
+    quick: bool = False,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+) -> BatchResult:
+    """Run many experiments through the batch runtime.
+
+    The fig4-fig8/table1 runners (and every other registered
+    experiment) route through this for multi-experiment invocations:
+    each experiment becomes one batch task, so ``repro all --workers 4``
+    regenerates independent artifacts concurrently while a failing
+    experiment is isolated in ``BatchResult.failures`` instead of
+    aborting the rest.
+
+    Args:
+        experiment_ids: registry ids, in the order results should come
+            back.
+        quick: trade statistical confidence for speed.
+        workers: worker processes (1 = serial, bit-exact with
+            sequential :func:`run_experiment` calls).
+        chunk_size: dispatch chunk size (None = auto).
+        progress: per-experiment progress callback.
+
+    Returns:
+        A :class:`~repro.runtime.batch.BatchResult` whose outcome
+        values are :class:`ExperimentResult` records, in input order.
+    """
+    _load_all()
+    ids = list(experiment_ids)
+    unknown = [e for e in ids if e not in _REGISTRY]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment(s): {', '.join(unknown)}; available: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    runner = BatchRunner(workers=workers, chunk_size=chunk_size, progress=progress)
+    return runner.run(_run_for_batch, [(eid, quick) for eid in ids])
 
 
 def _load_all() -> None:

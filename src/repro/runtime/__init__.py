@@ -1,0 +1,42 @@
+"""Batch-execution runtime: parallel dispatch of independent simulations.
+
+The runtime is the scaling layer every fan-out workload goes through:
+
+* :class:`BatchRunner` — worker-pool execution with chunked dispatch,
+  progress callbacks and failure isolation.
+* :mod:`repro.runtime.seeding` — ``SeedSequence``-spawned per-task
+  seeds, invariant to chunking and worker count.
+* :mod:`repro.runtime.montecarlo` — the Monte Carlo yield workload
+  (die measurement tasks, yield reports) built on the runner.
+"""
+
+from repro.runtime.batch import (
+    BatchProgress,
+    BatchResult,
+    BatchRunner,
+    TaskOutcome,
+)
+from repro.runtime.montecarlo import (
+    DieMetrics,
+    DieTask,
+    YieldReport,
+    YieldSpec,
+    measure_die,
+    run_yield_analysis,
+)
+from repro.runtime.seeding import derive_seeds, spawn_sequences
+
+__all__ = [
+    "BatchProgress",
+    "BatchResult",
+    "BatchRunner",
+    "DieMetrics",
+    "DieTask",
+    "TaskOutcome",
+    "YieldReport",
+    "YieldSpec",
+    "derive_seeds",
+    "measure_die",
+    "run_yield_analysis",
+    "spawn_sequences",
+]

@@ -1,0 +1,434 @@
+"""Parallel batch-execution runtime for independent simulation tasks.
+
+Monte Carlo yield runs, PVT corner sweeps and experiment batches all
+share one shape: many independent tasks, each a full simulation, whose
+results feed distributions and pass/fail summaries.  :class:`BatchRunner`
+executes that shape across a ``multiprocessing`` pool with
+
+* deterministic per-task seed derivation (``SeedSequence.spawn`` via
+  :mod:`repro.runtime.seeding`) that is invariant to chunking and
+  worker count,
+* chunked dispatch (``imap_unordered`` with a tuned chunk size),
+* progress callbacks as results stream back,
+* structured failure capture — one crashing task is recorded in
+  :attr:`BatchResult.failures` instead of killing the batch,
+* a :class:`BatchResult` aggregation layer (per-task values, summary
+  statistics, JSON serialization for CI artifacts).
+
+``workers=1`` bypasses the pool entirely and runs the same wrapped
+tasks in-process, so serial batches are bit-exact with the legacy
+serial loops and task callables need not be picklable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.seeding import derive_seeds
+
+#: Schema tag stamped into serialized results so CI consumers can
+#: detect format drift.
+BATCH_RESULT_SCHEMA = "repro.batch-result/v1"
+
+#: Chunks per worker when no explicit chunk size is given; small enough
+#: to balance uneven task costs, large enough to amortize IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """Snapshot handed to progress callbacks as results arrive.
+
+    Attributes:
+        done: tasks finished so far (successes + failures).
+        total: tasks in the batch.
+        failed: failures among the finished tasks.
+        elapsed_s: wall-clock seconds since dispatch started.
+        latest: the outcome that just completed (completion order, not
+            submission order) — lets callers stream results as they
+            arrive instead of waiting for the whole batch.
+    """
+
+    done: int
+    total: int
+    failed: int
+    elapsed_s: float
+    latest: "TaskOutcome | None" = None
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+
+ProgressCallback = Callable[[BatchProgress], None]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one task, success or failure.
+
+    Attributes:
+        index: position of the task in the submitted sequence.
+        value: what the task callable returned (None on failure).
+        seed: derived task seed, when the batch ran with a root seed.
+        error: stringified exception, when the task failed.
+        error_type: exception class name, when the task failed.
+        traceback: formatted traceback from the worker, when available.
+        exception: the exception instance itself when it survived the
+            trip back from the worker (kept out of serialized output).
+        elapsed_s: wall-clock seconds the task took.
+    """
+
+    index: int
+    value: Any = None
+    seed: int | None = None
+    error: str | None = None
+    error_type: str | None = None
+    traceback: str | None = None
+    exception: BaseException | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready record (drops the live exception object)."""
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "value": json_safe(self.value),
+            "seed": self.seed,
+            "error": self.error,
+            "error_type": self.error_type,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregated outcome of one batch run.
+
+    Attributes:
+        outcomes: one :class:`TaskOutcome` per task, in submission order.
+        workers: worker-process count the batch actually used.
+        chunk_size: dispatch chunk size the batch actually used.
+        elapsed_s: wall-clock seconds for the whole batch.
+        root_seed: root seed used for per-task seed derivation, if any.
+    """
+
+    outcomes: tuple[TaskOutcome, ...]
+    workers: int
+    chunk_size: int
+    elapsed_s: float
+    root_seed: int | None = None
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def successes(self) -> tuple[TaskOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.ok)
+
+    @property
+    def failures(self) -> tuple[TaskOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def values(self) -> list[Any]:
+        """Values of successful tasks, in submission order."""
+        return [o.value for o in self.outcomes if o.ok]
+
+    def raise_first_failure(self) -> None:
+        """Re-raise the first failure, if any task failed.
+
+        The original exception instance is re-raised when it survived
+        pickling back from the worker; otherwise a ``RuntimeError``
+        carrying the worker traceback is raised.
+        """
+        for outcome in self.outcomes:
+            if outcome.ok:
+                continue
+            if outcome.exception is not None:
+                raise outcome.exception
+            raise RuntimeError(
+                f"task {outcome.index} failed: {outcome.error_type}: "
+                f"{outcome.error}\n{outcome.traceback or ''}"
+            )
+
+    def metric_rows(
+        self, metrics: Callable[[Any], Mapping[str, float]] | None = None
+    ) -> list[dict[str, float]]:
+        """Numeric metrics of each successful task.
+
+        Args:
+            metrics: maps a task value to a name -> number mapping.
+                Defaults to :func:`default_metrics` (mappings and
+                dataclasses are mined for their numeric fields; objects
+                exposing ``to_metrics()`` are asked directly).
+        """
+        extract = metrics or default_metrics
+        return [dict(extract(value)) for value in self.values]
+
+    def summary(
+        self, metrics: Callable[[Any], Mapping[str, float]] | None = None
+    ) -> dict[str, dict[str, float]]:
+        """Per-metric summary statistics across successful tasks."""
+        rows = self.metric_rows(metrics)
+        keys: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        stats = {}
+        for key in keys:
+            samples = np.array([row[key] for row in rows if key in row])
+            if samples.size == 0:
+                continue
+            stats[key] = {
+                "mean": float(samples.mean()),
+                "std": float(samples.std()),
+                "median": float(np.median(samples)),
+                "min": float(samples.min()),
+                "max": float(samples.max()),
+            }
+        return stats
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready document for CI artifacts."""
+        return {
+            "schema": BATCH_RESULT_SCHEMA,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "elapsed_s": self.elapsed_s,
+            "root_seed": self.root_seed,
+            "n_tasks": self.n_tasks,
+            "n_failures": len(self.failures),
+            "summary": self.summary(),
+            "tasks": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def default_metrics(value: Any) -> dict[str, float]:
+    """Best-effort numeric metrics from a task value.
+
+    Objects exposing ``to_metrics()`` are asked directly; mappings and
+    dataclasses contribute their int/float entries; bare numbers become
+    ``{"value": x}``; anything else contributes nothing.
+    """
+    to_metrics = getattr(value, "to_metrics", None)
+    if callable(to_metrics):
+        return dict(to_metrics())
+    if isinstance(value, Mapping):
+        items = value.items()
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        items = dataclasses.asdict(value).items()
+    elif isinstance(value, (bool, int, float, np.integer, np.floating)):
+        return {"value": float(value)}
+    else:
+        return {}
+    return {
+        key: float(entry)
+        for key, entry in items
+        if isinstance(entry, (bool, int, float, np.integer, np.floating))
+    }
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert a task value into JSON-serializable types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [json_safe(entry) for entry in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return json_safe(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [json_safe(entry) for entry in value]
+    if isinstance(value, enum.Enum):
+        return json_safe(value.value)
+    return str(value)
+
+
+def _run_task(
+    payload: tuple[int, Callable[..., Any], Any, int | None],
+    in_process: bool = False,
+) -> TaskOutcome:
+    """Execute one wrapped task; never raises (failures become outcomes).
+
+    ``in_process`` marks the serial (workers=1) path: the captured
+    exception never crosses a process boundary there, so it is kept
+    verbatim instead of being filtered through a pickle round-trip.
+    """
+    index, fn, task, seed = payload
+    start = time.perf_counter()
+    try:
+        value = fn(task) if seed is None else fn(task, seed)
+        return TaskOutcome(
+            index=index,
+            value=value,
+            seed=seed,
+            elapsed_s=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 — failure isolation is the point
+        return TaskOutcome(
+            index=index,
+            seed=seed,
+            error=str(error),
+            error_type=type(error).__name__,
+            traceback=traceback.format_exc(),
+            exception=error if in_process else _if_picklable(error),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+
+def _if_picklable(error: BaseException) -> BaseException | None:
+    """The exception itself if it can travel across the pool, else None."""
+    try:
+        pickle.loads(pickle.dumps(error))
+    except Exception:  # noqa: BLE001 — any pickling trouble means "drop it"
+        return None
+    return error
+
+
+@dataclass(frozen=True)
+class BatchRunner:
+    """Executes many independent tasks, serially or across a pool.
+
+    Attributes:
+        workers: worker processes; 1 (default) runs in-process and is
+            bit-exact with a plain serial loop, None uses all CPUs.
+        chunk_size: tasks per dispatch chunk; None picks
+            ``ceil(n / (workers * 4))``.  Seed derivation and results
+            are invariant to this — it only tunes IPC granularity.
+        progress: callback invoked with a :class:`BatchProgress` after
+            every completed task.
+        mp_context: multiprocessing start method ("fork", "spawn",
+            "forkserver"); None uses the platform default.
+
+    Task callables must be picklable (module-level functions) when
+    ``workers > 1``; the serial path has no such requirement.
+    """
+
+    workers: int | None = 1
+    chunk_size: int | None = None
+    progress: ProgressCallback | None = None
+    mp_context: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1 or None, got {self.workers}",
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}",
+            )
+
+    def resolve_workers(self, n_tasks: int) -> int:
+        """Actual worker count for a batch of ``n_tasks``."""
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        return max(1, min(workers, n_tasks)) if n_tasks else 1
+
+    def resolve_chunk_size(self, n_tasks: int, workers: int) -> int:
+        """Actual dispatch chunk size for a batch of ``n_tasks``."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(n_tasks / (workers * _CHUNKS_PER_WORKER)))
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        tasks: Iterable[Any],
+        root_seed: int | None = None,
+    ) -> BatchResult:
+        """Execute ``fn`` over every task.
+
+        Args:
+            fn: task callable.  Called as ``fn(task)``, or as
+                ``fn(task, seed)`` when ``root_seed`` is given.
+            tasks: the task inputs, one per execution.
+            root_seed: when given, per-task integer seeds are derived
+                with ``SeedSequence.spawn`` — task *i*'s seed depends
+                only on ``(root_seed, i)``, never on chunking or worker
+                count.
+
+        Returns:
+            A :class:`BatchResult` with outcomes in submission order.
+        """
+        task_list = list(tasks)
+        n_tasks = len(task_list)
+        workers = self.resolve_workers(n_tasks)
+        chunk_size = self.resolve_chunk_size(n_tasks, workers)
+        seeds: Sequence[int | None]
+        if root_seed is not None:
+            seeds = derive_seeds(root_seed, n_tasks)
+        else:
+            seeds = [None] * n_tasks
+        payloads = [
+            (index, fn, task, seeds[index])
+            for index, task in enumerate(task_list)
+        ]
+
+        start = time.perf_counter()
+        outcomes: list[TaskOutcome] = []
+        failed = 0
+
+        def note(outcome: TaskOutcome) -> None:
+            nonlocal failed
+            outcomes.append(outcome)
+            if not outcome.ok:
+                failed += 1
+            if self.progress is not None:
+                self.progress(
+                    BatchProgress(
+                        done=len(outcomes),
+                        total=n_tasks,
+                        failed=failed,
+                        elapsed_s=time.perf_counter() - start,
+                        latest=outcome,
+                    )
+                )
+
+        if workers == 1:
+            for payload in payloads:
+                note(_run_task(payload, in_process=True))
+        else:
+            context = multiprocessing.get_context(self.mp_context)
+            with context.Pool(processes=workers) as pool:
+                for outcome in pool.imap_unordered(
+                    _run_task, payloads, chunksize=chunk_size
+                ):
+                    note(outcome)
+
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return BatchResult(
+            outcomes=tuple(outcomes),
+            workers=workers,
+            chunk_size=chunk_size,
+            elapsed_s=time.perf_counter() - start,
+            root_seed=root_seed,
+        )

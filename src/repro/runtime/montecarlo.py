@@ -1,0 +1,360 @@
+"""Monte Carlo yield analysis on the batch runtime.
+
+Wraps the full per-die measurement (coherent tone capture for SNDR/ENOB
+plus an over-ranged ramp for DNL) as a picklable task so
+:class:`~repro.runtime.batch.BatchRunner` can fan dies out across a
+worker pool.  A serial run (``workers=1``) is bit-exact with the legacy
+loop in ``examples/montecarlo_yield.py``: the dies come from the same
+:class:`~repro.technology.montecarlo.MonteCarloSampler` draw order and
+each die's measurement depends only on its own task record.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adc import PipelineAdc
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+from repro.evaluation.reporting import format_table
+from repro.runtime.batch import (
+    BatchResult,
+    BatchRunner,
+    ProgressCallback,
+    json_safe,
+)
+from repro.signal.generators import SineGenerator
+from repro.signal.linearity import ramp_linearity
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.technology.montecarlo import MonteCarloSampler, ProcessSample
+
+#: Default ramp over-range (fraction of full scale) and oversampling,
+#: matching the legacy yield example.
+_RAMP_OVERDRIVE = 1.02
+
+
+@dataclass(frozen=True)
+class YieldSpec:
+    """Datasheet spec a die is screened against.
+
+    Attributes:
+        min_enob: minimum effective number of bits.
+        max_dnl_lsb: maximum |DNL| in LSB.
+        conversion_rate: sample rate the screen runs at [Hz].
+        input_frequency: test-tone frequency [Hz].
+    """
+
+    min_enob: float = 10.0
+    max_dnl_lsb: float = 1.5
+    conversion_rate: float = 110e6
+    input_frequency: float = 10e6
+
+    def __post_init__(self) -> None:
+        if self.conversion_rate <= 0:
+            raise ConfigurationError("conversion_rate must be positive")
+        if self.input_frequency <= 0:
+            raise ConfigurationError("input_frequency must be positive")
+
+    def passes(self, enob_bits: float, dnl_peak_lsb: float) -> bool:
+        return enob_bits >= self.min_enob and dnl_peak_lsb <= self.max_dnl_lsb
+
+
+@dataclass(frozen=True)
+class DieTask:
+    """Everything one worker needs to measure one die.
+
+    Attributes:
+        sample: the die realization (operating point + mismatch seed).
+        config: converter configuration.
+        spec: measurement conditions and screen limits.
+        n_fft: coherent capture length for the spectral measurement.
+        ramp_points_per_code: ramp samples per output code for the
+            code-density DNL measurement.
+    """
+
+    sample: ProcessSample
+    config: AdcConfig
+    spec: YieldSpec = field(default_factory=YieldSpec)
+    n_fft: int = 4096
+    ramp_points_per_code: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_fft <= 0:
+            raise ConfigurationError("n_fft must be positive")
+        if self.ramp_points_per_code < 16:
+            # histogram_linearity needs >= 16 hits per code for a
+            # defined DNL; fail at task construction, not per die.
+            raise ConfigurationError(
+                "ramp_points_per_code must be >= 16 for a valid "
+                f"code-density histogram, got {self.ramp_points_per_code}"
+            )
+
+
+@dataclass(frozen=True)
+class DieMetrics:
+    """Measured figures of merit for one die.
+
+    Attributes:
+        index: die position in the batch.
+        corner: process corner name ("tt", "ff", ...).
+        temperature_c: junction temperature [Celsius].
+        supply_scale: supply multiplier drawn for the die.
+        cap_scale: absolute capacitance multiplier drawn for the die.
+        seed: the die's local-mismatch seed (replays the die alone).
+        sndr_db: measured SNDR [dB].
+        enob_bits: effective number of bits.
+        dnl_peak_lsb: worst-case |DNL| [LSB].
+        passed: verdict against the screening spec.
+    """
+
+    index: int
+    corner: str
+    temperature_c: float
+    supply_scale: float
+    cap_scale: float
+    seed: int
+    sndr_db: float
+    enob_bits: float
+    dnl_peak_lsb: float
+    passed: bool
+
+    def to_metrics(self) -> dict[str, float]:
+        """Numeric summary fields (feeds ``BatchResult.summary``)."""
+        return {
+            "sndr_db": self.sndr_db,
+            "enob_bits": self.enob_bits,
+            "dnl_peak_lsb": self.dnl_peak_lsb,
+        }
+
+
+def measure_die(task: DieTask) -> DieMetrics:
+    """Measure one die: dynamic (SNDR/ENOB) and static (DNL) screens.
+
+    Module-level and dependent only on ``task``, so it can run in any
+    worker process of any batch partition and produce identical bits.
+    """
+    die = task.sample
+    spec = task.spec
+    adc = PipelineAdc(
+        task.config,
+        conversion_rate=spec.conversion_rate,
+        operating_point=die.operating_point,
+        seed=die.seed,
+    )
+    tone = SineGenerator.coherent(
+        spec.input_frequency, spec.conversion_rate, task.n_fft, amplitude=0.995
+    )
+    metrics = SpectrumAnalyzer().analyze(
+        adc.convert(tone, task.n_fft).codes, spec.conversion_rate
+    )
+    n_codes = task.config.n_codes
+    ramp = np.linspace(
+        -_RAMP_OVERDRIVE, _RAMP_OVERDRIVE, n_codes * task.ramp_points_per_code
+    )
+    linearity = ramp_linearity(adc.convert_samples(ramp).codes, n_codes)
+    dnl_peak = max(abs(linearity.dnl_min), abs(linearity.dnl_max))
+    point = die.operating_point
+    return DieMetrics(
+        index=die.index,
+        corner=point.corner.value,
+        temperature_c=point.temperature_c,
+        supply_scale=point.supply_scale,
+        cap_scale=point.cap_scale,
+        seed=die.seed,
+        sndr_db=metrics.sndr_db,
+        enob_bits=metrics.enob_bits,
+        dnl_peak_lsb=dnl_peak,
+        passed=spec.passes(metrics.enob_bits, dnl_peak),
+    )
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """A Monte Carlo yield run: per-die metrics, spec verdicts, failures.
+
+    Attributes:
+        batch: the underlying batch result (per-die outcomes, timing).
+        spec: the screen the dies were measured against.
+    """
+
+    batch: BatchResult
+    spec: YieldSpec
+
+    @property
+    def dies(self) -> list[DieMetrics]:
+        """Successfully measured dies, in batch order."""
+        return self.batch.values
+
+    @property
+    def n_dies(self) -> int:
+        return self.batch.n_tasks
+
+    @property
+    def n_pass(self) -> int:
+        return sum(1 for die in self.dies if die.passed)
+
+    @property
+    def yield_fraction(self) -> float:
+        """Pass fraction over all *dispatched* dies (crashes count as fails)."""
+        return self.n_pass / self.n_dies if self.n_dies else 0.0
+
+    def enobs(self) -> np.ndarray:
+        return np.array([die.enob_bits for die in self.dies])
+
+    def dnl_peaks(self) -> np.ndarray:
+        return np.array([die.dnl_peak_lsb for die in self.dies])
+
+    def render(self) -> str:
+        """Full textual report: per-die table, distributions, yield."""
+        rows = [
+            (
+                die.index,
+                die.corner.upper(),
+                f"{die.temperature_c:.0f}",
+                f"{die.cap_scale:.2f}",
+                f"{die.sndr_db:.1f}",
+                f"{die.enob_bits:.2f}",
+                f"{die.dnl_peak_lsb:.2f}",
+                "pass" if die.passed else "FAIL",
+            )
+            for die in self.dies
+        ]
+        lines = [
+            format_table(
+                (
+                    "die",
+                    "corner",
+                    "T [C]",
+                    "C scale",
+                    "SNDR [dB]",
+                    "ENOB",
+                    "|DNL| [LSB]",
+                    "spec",
+                ),
+                rows,
+                title=(
+                    f"--- {self.n_dies} Monte Carlo dies at "
+                    f"{self.spec.conversion_rate / 1e6:.0f} MS/s ---"
+                ),
+            ),
+            "",
+        ]
+        enobs = self.enobs()
+        dnls = self.dnl_peaks()
+        if enobs.size:
+            lines.append(
+                f"ENOB: median {np.median(enobs):.2f}, "
+                f"min {enobs.min():.2f}, max {enobs.max():.2f}"
+            )
+            lines.append(
+                f"|DNL|: median {np.median(dnls):.2f} LSB, "
+                f"worst {dnls.max():.2f} LSB"
+            )
+        lines.append(
+            f"yield against ENOB >= {self.spec.min_enob} and "
+            f"|DNL| <= {self.spec.max_dnl_lsb} LSB: "
+            f"{self.n_pass}/{self.n_dies} "
+            f"({100 * self.yield_fraction:.0f}%)"
+        )
+        for failure in self.batch.failures:
+            lines.append(
+                f"die {failure.index} CRASHED: "
+                f"{failure.error_type}: {failure.error}"
+            )
+        lines.append(
+            f"batch: {self.batch.workers} worker(s), chunk size "
+            f"{self.batch.chunk_size}, {self.batch.elapsed_s:.2f} s"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        document = self.batch.to_dict()
+        document["spec"] = json_safe(self.spec)
+        document["yield"] = {
+            "n_dies": self.n_dies,
+            "n_pass": self.n_pass,
+            "n_crashed": len(self.batch.failures),
+            "fraction": self.yield_fraction,
+        }
+        return document
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def default_sampler(config: AdcConfig) -> MonteCarloSampler:
+    """The yield-example sampler: industrial temp range, +-5% supply."""
+    return MonteCarloSampler(
+        technology=config.technology,
+        temperature_range_c=(-40.0, 85.0),
+        supply_tolerance=0.05,
+    )
+
+
+def run_yield_analysis(
+    n_dies: int = 24,
+    seed: int = 2026,
+    config: AdcConfig | None = None,
+    spec: YieldSpec | None = None,
+    sampler: MonteCarloSampler | None = None,
+    n_fft: int = 4096,
+    ramp_points_per_code: int = 16,
+    seed_strategy: str = "stream",
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+    mp_context: str | None = None,
+) -> YieldReport:
+    """Run a Monte Carlo yield analysis across the batch runtime.
+
+    Args:
+        n_dies: number of die realizations.
+        seed: master seed for the PVT/mismatch draws; a given
+            ``(seed, n_dies)`` pair reproduces the identical die set
+            regardless of ``workers`` and ``chunk_size``.
+        config: converter configuration (paper default when omitted).
+        spec: screening spec and measurement conditions.
+        sampler: die sampler (industrial-range default when omitted).
+        n_fft: coherent capture length per die.
+        ramp_points_per_code: ramp density for the DNL screen.
+        seed_strategy: ``"stream"`` draws dies from one sequential
+            generator (bit-compatible with the legacy serial loops);
+            ``"spawn"`` derives each die from its own
+            ``SeedSequence.spawn`` child, so die *i* is identical no
+            matter how large the batch is (sharding-stable).
+        workers: worker processes (1 = serial, None = all CPUs).
+        chunk_size: dispatch chunk size (None = auto).
+        progress: per-die progress callback.
+        mp_context: multiprocessing start method override.
+    """
+    config = config or AdcConfig.paper_default()
+    spec = spec or YieldSpec()
+    sampler = sampler or default_sampler(config)
+    if seed_strategy == "stream":
+        dies = sampler.sample(n_dies, np.random.default_rng(seed))
+    elif seed_strategy == "spawn":
+        dies = sampler.sample_spawned(n_dies, seed)
+    else:
+        raise ConfigurationError(
+            f"seed_strategy must be 'stream' or 'spawn', got '{seed_strategy}'"
+        )
+    tasks = [
+        DieTask(
+            sample=die,
+            config=config,
+            spec=spec,
+            n_fft=n_fft,
+            ramp_points_per_code=ramp_points_per_code,
+        )
+        for die in dies
+    ]
+    runner = BatchRunner(
+        workers=workers,
+        chunk_size=chunk_size,
+        progress=progress,
+        mp_context=mp_context,
+    )
+    return YieldReport(batch=runner.run(measure_die, tasks), spec=spec)

@@ -8,14 +8,13 @@ reported in the paper's Table I and Figs. 4-6.
 """
 
 from repro.signal.coherent import alias_bin, coherent_bin, coherent_frequency
-from repro.signal.imd import ImdProduct, ImdResult, TwoToneAnalyzer
-from repro.signal.static_params import StaticParameters, extract_static_parameters
 from repro.signal.generators import (
     DcGenerator,
     MultitoneGenerator,
     RampGenerator,
     SineGenerator,
 )
+from repro.signal.imd import ImdProduct, ImdResult, TwoToneAnalyzer
 from repro.signal.linearity import (
     LinearityResult,
     histogram_linearity,
@@ -24,6 +23,7 @@ from repro.signal.linearity import (
 )
 from repro.signal.metrics import HarmonicComponent, SpectrumMetrics
 from repro.signal.spectrum import SpectrumAnalyzer
+from repro.signal.static_params import StaticParameters, extract_static_parameters
 from repro.signal.windows import Window, window_function
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "StaticParameters",
     "extract_static_parameters",
     "Window",
+    "alias_bin",
     "coherent_bin",
     "coherent_frequency",
     "histogram_linearity",

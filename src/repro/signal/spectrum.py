@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.signal.metrics import HarmonicComponent, SpectrumMetrics
-from repro.signal.windows import Window, noise_bandwidth_bins, window_function
+from repro.signal.windows import Window, window_function
 
 
 def fold_bin(bin_index: int, n_samples: int) -> int:

@@ -18,8 +18,8 @@ Exports the pieces the device and circuit layers build on:
 
 from repro.technology.capacitor import CapacitorMismatchModel, MetalCapacitor
 from repro.technology.corners import Corner, OperatingPoint
-from repro.technology.mosfet import Mosfet, MosPolarity
 from repro.technology.montecarlo import MonteCarloSampler, ProcessSample
+from repro.technology.mosfet import Mosfet, MosPolarity
 from repro.technology.process import Technology
 
 __all__ = [

@@ -84,30 +84,47 @@ class MonteCarloSampler:
         """
         if count <= 0:
             raise ConfigurationError(f"count must be positive, got {count}")
+        return [self._sample_one(index, rng) for index in range(count)]
+
+    def sample_spawned(self, count: int, root_seed: int) -> list[ProcessSample]:
+        """Draw ``count`` dies with partition-invariant seed derivation.
+
+        Unlike :meth:`sample`, which consumes one sequential stream (die
+        *i*'s draws depend on every die before it), each die here gets
+        its own ``SeedSequence.spawn`` child keyed by ``(root_seed,
+        index)``.  Die *i* is therefore identical whether it is drawn in
+        a batch of 8 or of 8000 — the property streaming/sharded batch
+        generation needs.
+        """
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        children = np.random.SeedSequence(root_seed).spawn(count)
+        return [
+            self._sample_one(index, np.random.default_rng(child))
+            for index, child in enumerate(children)
+        ]
+
+    def _sample_one(self, index: int, rng: np.random.Generator) -> ProcessSample:
+        """One die from ``rng``; draw order is part of the replay contract."""
         mismatch = CapacitorMismatchModel(technology=self.technology)
         low_t, high_t = self.temperature_range_c
-        samples = []
-        for index in range(count):
-            corner = self.corners[int(rng.integers(len(self.corners)))]
-            temperature = float(rng.uniform(low_t, high_t))
-            supply_scale = 1.0 + float(
-                rng.uniform(-self.supply_tolerance, self.supply_tolerance)
-            )
-            cap_scale = 1.0
-            if self.vary_absolute_capacitance:
-                cap_scale = mismatch.sample_absolute_scale(rng)
-            point = OperatingPoint(
-                technology=self.technology,
-                corner=corner,
-                temperature_c=temperature,
-                supply_scale=supply_scale,
-                cap_scale=cap_scale,
-            )
-            seed = int(rng.integers(0, 2**63 - 1))
-            samples.append(
-                ProcessSample(operating_point=point, seed=seed, index=index)
-            )
-        return samples
+        corner = self.corners[int(rng.integers(len(self.corners)))]
+        temperature = float(rng.uniform(low_t, high_t))
+        supply_scale = 1.0 + float(
+            rng.uniform(-self.supply_tolerance, self.supply_tolerance)
+        )
+        cap_scale = 1.0
+        if self.vary_absolute_capacitance:
+            cap_scale = mismatch.sample_absolute_scale(rng)
+        point = OperatingPoint(
+            technology=self.technology,
+            corner=corner,
+            temperature_c=temperature,
+            supply_scale=supply_scale,
+            cap_scale=cap_scale,
+        )
+        seed = int(rng.integers(0, 2**63 - 1))
+        return ProcessSample(operating_point=point, seed=seed, index=index)
 
     def nominal_sample(self, seed: int = 0) -> ProcessSample:
         """The deterministic typical die (TT, 27C, nominal V, nominal C)."""

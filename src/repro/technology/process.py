@@ -11,7 +11,7 @@ to behavioral models, not SPICE cards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 

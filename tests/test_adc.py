@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.adc import PipelineAdc
 from repro.core.behavioral import ideal_transfer_codes
-from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError, ModelDomainError
 from repro.signal.generators import DcGenerator, SineGenerator
 

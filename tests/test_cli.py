@@ -1,8 +1,8 @@
 """Tests for repro.cli."""
 
-import pytest
+import json
 
-from repro.cli import build_parser, main
+from repro.cli import build_mc_parser, build_parser, main
 from repro.experiments.registry import available_experiments
 
 
@@ -32,3 +32,43 @@ class TestCli:
         args = build_parser().parse_args(["fig4", "--quick"])
         assert args.quick
         assert args.experiments == ["fig4"]
+
+    def test_parser_workers_default(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.workers == 1
+        assert args.chunk_size is None
+
+    def test_experiments_through_worker_pool(self, capsys):
+        assert main(["fig4", "fig7", "--quick", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig7" in out
+
+
+class TestMcCli:
+    def test_mc_parser_defaults(self):
+        args = build_mc_parser().parse_args([])
+        assert args.dies == 24
+        assert args.workers == 1
+        assert args.spec_enob == 10.0
+        assert args.spec_dnl == 1.5
+
+    def test_mc_run_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "mc.json"
+        code = main(
+            [
+                "mc",
+                "--dies",
+                "2",
+                "--fft-points",
+                "1024",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "yield against" in out
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro.batch-result/v1"
+        assert document["n_tasks"] == 2
+        assert document["yield"]["n_dies"] == 2

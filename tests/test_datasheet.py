@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.evaluation.datasheet import Datasheet, DatasheetLine, characterize
+from repro.evaluation.datasheet import DatasheetLine, characterize
 
 
 @pytest.fixture(scope="module")

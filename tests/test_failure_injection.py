@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.core.adc import PipelineAdc
-from repro.core.config import AdcConfig
 from repro.devices.comparator import ComparatorParameters
 from repro.errors import ModelDomainError
 from repro.signal.generators import SineGenerator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import AdcConfig, ScalingPlan
+from repro.core.config import ScalingPlan
 from repro.core.floorplan import BlockArea, Floorplan
 from repro.errors import ConfigurationError
 

@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.core.adc import PipelineAdc
-from repro.core.config import AdcConfig
 from repro.core.power import PowerModel
 from repro.signal.generators import SineGenerator
 from repro.signal.linearity import ramp_linearity

@@ -4,7 +4,6 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.noise_budget import compute_noise_budget
 from repro.evaluation.testbench import DynamicTestbench

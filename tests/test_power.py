@@ -1,9 +1,8 @@
 """Tests for repro.core.power — the Fig. 4 physics."""
 
-import numpy as np
 import pytest
 
-from repro.core.config import AdcConfig, ScalingPlan
+from repro.core.config import ScalingPlan
 from repro.core.power import PowerModel
 from repro.errors import ConfigurationError
 

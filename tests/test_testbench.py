@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.testbench import (
     DynamicTestbench,
