@@ -1,0 +1,319 @@
+"""Monte Carlo engine comparison: serial vs pool vs vectorized wall time.
+
+Benchmarks two seeded die-population workloads through every
+execution-engine configuration:
+
+- ``dynamic-screen`` — the headline workload: 32 dies x 4096 samples,
+  coherent tone capture + FFT metrics per die.  This is where
+  die-batching bites: the per-die Python dispatch disappears and the
+  FFTs run as one batched transform.
+- ``yield-screen`` — the full ``repro mc`` workload (tone + 16
+  samples/code linearity ramp).  The long ramp is per-sample bound, so
+  engine differences are smaller; the pool supplies the parallel axis.
+
+Engine configurations per workload:
+
+- ``serial``          — pool engine, 1 worker: the per-die loop.
+- ``pool``            — pool engine, all CPUs: process parallelism.
+- ``vectorized``      — vectorized engine, 1 worker: die-batched NumPy.
+- ``vectorized+pool`` — vectorized engine, all CPUs: the composition
+  (the pool fans out die-batched chunks).
+
+Per-die metrics are asserted identical across the configurations (the
+engines are bit-exact per die), and the wall times plus speedups are
+emitted as a ``BENCH_engines.json`` artifact for the perf trajectory.
+
+Run as a script::
+
+    python benchmarks/bench_engines.py --dies 32 --fft-points 4096 \
+        --out BENCH_engines.json
+
+or through pytest (small smoke workload)::
+
+    pytest benchmarks/bench_engines.py -q --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Schema tag for the emitted artifact.
+BENCH_ENGINES_SCHEMA = "repro.bench-engines/v2"
+
+#: Dies per vectorized chunk for the dynamic screen (cache-sized).
+_DYNAMIC_DIE_CHUNK = 8
+
+
+def _engine_configs(workers: int) -> dict[str, dict]:
+    return {
+        "serial": {"engine": "pool", "workers": 1},
+        "pool": {"engine": "pool", "workers": workers},
+        "vectorized": {"engine": "vectorized", "workers": 1},
+        "vectorized+pool": {"engine": "vectorized", "workers": workers},
+    }
+
+
+# --- dynamic screen (tone + FFT only) ----------------------------------
+
+
+@dataclass(frozen=True)
+class _DynamicTask:
+    """One die (or die chunk) of the dynamic screen."""
+
+    samples: tuple
+    n_fft: int
+    conversion_rate: float = 110e6
+    input_frequency: float = 10e6
+
+
+def _measure_dynamic_die(task: _DynamicTask):
+    from repro.core.adc import PipelineAdc
+    from repro.core.config import AdcConfig
+    from repro.signal.generators import SineGenerator
+    from repro.signal.spectrum import SpectrumAnalyzer
+
+    (die,) = task.samples
+    adc = PipelineAdc(
+        AdcConfig.paper_default(),
+        conversion_rate=task.conversion_rate,
+        operating_point=die.operating_point,
+        seed=die.seed,
+    )
+    tone = SineGenerator.coherent(
+        task.input_frequency, task.conversion_rate, task.n_fft, amplitude=0.995
+    )
+    metrics = SpectrumAnalyzer().analyze(
+        adc.convert(tone, task.n_fft).codes, task.conversion_rate
+    )
+    return [(die.index, metrics.sndr_db, metrics.enob_bits)]
+
+
+def _measure_dynamic_chunk(task: _DynamicTask):
+    from repro.core.adc_array import AdcArray
+    from repro.core.config import AdcConfig
+    from repro.signal.generators import SineGenerator
+    from repro.signal.spectrum import SpectrumAnalyzer
+
+    adc = AdcArray(
+        AdcConfig.paper_default(), task.conversion_rate, task.samples
+    )
+    tone = SineGenerator.coherent(
+        task.input_frequency, task.conversion_rate, task.n_fft, amplitude=0.995
+    )
+    spectra = SpectrumAnalyzer().analyze_batch(
+        adc.convert(tone, task.n_fft).codes, task.conversion_rate
+    )
+    return [
+        (die.index, m.sndr_db, m.enob_bits)
+        for die, m in zip(task.samples, spectra)
+    ]
+
+
+def _run_dynamic_config(dies, n_fft, engine, workers):
+    from repro.runtime.batch import BatchRunner
+
+    if engine == "pool":
+        tasks = [_DynamicTask(samples=(die,), n_fft=n_fft) for die in dies]
+        fn = _measure_dynamic_die
+    else:
+        chunk = _DYNAMIC_DIE_CHUNK
+        tasks = [
+            _DynamicTask(samples=tuple(dies[low : low + chunk]), n_fft=n_fft)
+            for low in range(0, len(dies), chunk)
+        ]
+        fn = _measure_dynamic_chunk
+    batch = BatchRunner(workers=workers).run(fn, tasks)
+    batch.raise_first_failure()
+    rows = [row for value in batch.values for row in value]
+    return sorted(rows)
+
+
+# --- the comparison harness --------------------------------------------
+
+
+def _rows_close(a, b) -> bool:
+    return len(a) == len(b) and all(
+        x[0] == y[0]
+        and all(
+            math.isclose(p, q, rel_tol=1e-9, abs_tol=1e-12)
+            for p, q in zip(x[1:], y[1:])
+        )
+        for x, y in zip(a, b)
+    )
+
+
+def _compare_configs(run_one, workers: int) -> dict:
+    """Time every engine configuration through ``run_one(config)``."""
+    results: dict[str, dict] = {}
+    reference = None
+    for name, config in _engine_configs(workers).items():
+        start = time.perf_counter()
+        rows = run_one(config)
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = rows
+        results[name] = {
+            **config,
+            "elapsed_s": elapsed,
+            "consistent_with_serial": _rows_close(reference, rows),
+        }
+    serial_time = results["serial"]["elapsed_s"]
+    for entry in results.values():
+        entry["speedup_vs_serial"] = serial_time / entry["elapsed_s"]
+    best = max(results, key=lambda name: results[name]["speedup_vs_serial"])
+    return {
+        "engines": results,
+        "best_engine": best,
+        "best_speedup_vs_serial": results[best]["speedup_vs_serial"],
+        "all_consistent": all(
+            entry["consistent_with_serial"] for entry in results.values()
+        ),
+    }
+
+
+def run_engine_comparison(
+    dies: int = 32,
+    n_fft: int = 4096,
+    ramp_points_per_code: int = 16,
+    seed: int = 2026,
+    workers: int | None = None,
+    include_yield_screen: bool = True,
+) -> dict:
+    """Time every engine configuration on the seeded workloads."""
+    import numpy as np
+
+    from repro.core.config import AdcConfig
+    from repro.runtime.montecarlo import default_sampler, run_yield_analysis
+
+    workers = workers or os.cpu_count() or 1
+    population = default_sampler(AdcConfig.paper_default()).sample(
+        dies, np.random.default_rng(seed)
+    )
+    # Warm NumPy/FFT caches and the import graph so the first timed
+    # configuration is not charged for one-time setup.
+    run_yield_analysis(n_dies=2, seed=seed, n_fft=512)
+
+    workloads = {}
+    workloads["dynamic-screen"] = {
+        "params": {"dies": dies, "n_fft": n_fft, "seed": seed},
+        **_compare_configs(
+            lambda config: _run_dynamic_config(
+                population, n_fft, config["engine"], config["workers"]
+            ),
+            workers,
+        ),
+    }
+    if include_yield_screen:
+
+        def run_yield(config):
+            report = run_yield_analysis(
+                n_dies=dies,
+                seed=seed,
+                n_fft=n_fft,
+                ramp_points_per_code=ramp_points_per_code,
+                **config,
+            )
+            if report.batch.failures:
+                raise RuntimeError(
+                    f"die failures: {report.batch.failures[0].error}"
+                )
+            return sorted(
+                (d.index, d.sndr_db, d.enob_bits, d.dnl_peak_lsb)
+                for d in report.dies
+            )
+
+        workloads["yield-screen"] = {
+            "params": {
+                "dies": dies,
+                "n_fft": n_fft,
+                "ramp_points_per_code": ramp_points_per_code,
+                "seed": seed,
+            },
+            **_compare_configs(run_yield, workers),
+        }
+    return {
+        "schema": BENCH_ENGINES_SCHEMA,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "workloads": workloads,
+        "all_consistent": all(
+            w["all_consistent"] for w in workloads.values()
+        ),
+    }
+
+
+def _print_document(document: dict) -> None:
+    for name, workload in document["workloads"].items():
+        print(f"{name} ({workload['params']}):")
+        for config, entry in workload["engines"].items():
+            marker = (
+                "" if entry["consistent_with_serial"] else "  METRICS DIFFER!"
+            )
+            print(
+                f"  {config:>15}: {entry['elapsed_s']:6.2f} s  "
+                f"({entry['speedup_vs_serial']:.2f}x vs serial){marker}"
+            )
+
+
+def test_engine_comparison_smoke(tmp_path):
+    """Small-workload engine comparison: consistency is the assertion."""
+    document = run_engine_comparison(
+        dies=4, n_fft=1024, ramp_points_per_code=16, workers=2
+    )
+    assert document["all_consistent"], document
+    artifact = tmp_path / "BENCH_engines.json"
+    artifact.write_text(json.dumps(document, indent=2))
+    print()
+    _print_document(document)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dies", type=int, default=32)
+    parser.add_argument("--fft-points", type=int, default=4096)
+    parser.add_argument("--ramp-points", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool width for the parallel configs (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--skip-yield-screen",
+        action="store_true",
+        help="only run the dynamic-screen workload",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_engines.json"),
+        help="artifact path (default BENCH_engines.json)",
+    )
+    args = parser.parse_args(argv)
+    document = run_engine_comparison(
+        dies=args.dies,
+        n_fft=args.fft_points,
+        ramp_points_per_code=args.ramp_points,
+        seed=args.seed,
+        workers=args.workers,
+        include_yield_screen=not args.skip_yield_screen,
+    )
+    args.out.write_text(json.dumps(document, indent=2))
+    print(f"wrote {args.out}")
+    _print_document(document)
+    return 0 if document["all_consistent"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,42 +9,29 @@ channel is usable.
 
 This example digitizes (a) a single IF carrier at three IF choices and
 (b) a two-tone IF signal, reporting SNR/SFDR and the third-order
-intermodulation the two-tone test exposes.
+intermodulation the two-tone test exposes.  The measurements are shared
+with the registered ``scenario-if`` experiment (``repro scenario-if``),
+which claim-checks the same numbers.
 
 Run:  python examples/communication_if_sampling.py
 """
 
-from repro import (
-    AdcConfig,
-    MultitoneGenerator,
-    PipelineAdc,
-    SineGenerator,
-    SpectrumAnalyzer,
-)
+from repro import AdcConfig, PipelineAdc
 from repro.evaluation.reporting import format_table
-from repro.signal.coherent import coherent_frequency
-from repro.signal.imd import TwoToneAnalyzer
+from repro.experiments.scenarios import measure_if_channels, measure_two_tone
 
 
 def single_carrier_table(adc, rate, n_samples):
-    analyzer = SpectrumAnalyzer()
-    rows = []
-    for label, target_if in (
-        ("1st Nyquist (baseband)", 10e6),
-        ("2nd Nyquist IF", 75e6),
-        ("3rd Nyquist IF", 140e6),
-    ):
-        tone = SineGenerator.coherent(target_if, rate, n_samples, amplitude=0.995)
-        metrics = analyzer.analyze(adc.convert(tone, n_samples).codes, rate)
-        rows.append(
-            (
-                label,
-                f"{tone.frequency / 1e6:.1f}",
-                f"{metrics.snr_db:.1f}",
-                f"{metrics.sndr_db:.1f}",
-                f"{metrics.sfdr_db:.1f}",
-            )
+    rows = [
+        (
+            row["label"],
+            f"{row['frequency'] / 1e6:.1f}",
+            f"{row['snr_db']:.1f}",
+            f"{row['sndr_db']:.1f}",
+            f"{row['sfdr_db']:.1f}",
         )
+        for row in measure_if_channels(adc, rate, n_samples)
+    ]
     print(
         format_table(
             ("channel plan", "f_IF [MHz]", "SNR [dB]", "SNDR [dB]", "SFDR [dB]"),
@@ -57,15 +44,9 @@ def single_carrier_table(adc, rate, n_samples):
 
 def two_tone_imd(adc, rate, n_samples):
     """Closely spaced two-tone test around a 70 MHz IF."""
-    f1 = coherent_frequency(69e6, rate, n_samples)
-    f2 = coherent_frequency(71.5e6, rate, n_samples)
-    stimulus = MultitoneGenerator.two_tone(f1, f2, amplitude_each=0.47)
-    capture = adc.convert(stimulus, n_samples)
-
-    analyzer = TwoToneAnalyzer(spectrum=SpectrumAnalyzer(full_scale=2048.0))
-    result = analyzer.analyze(capture.codes, rate, f1, f2)
+    result = measure_two_tone(adc, rate, n_samples)
     print("--- two-tone IMD at a 70 MHz IF ---")
-    print(f"tones: {f1 / 1e6:.2f} and {f2 / 1e6:.2f} MHz at -6.5 dBFS each")
+    print("tones at -6.5 dBFS each around 70 MHz")
     for product in result.products:
         if product.label in ("2f1-f2", "2f2-f1"):
             print(

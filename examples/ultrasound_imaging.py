@@ -9,73 +9,22 @@ noise and distortion floor.
 This example synthesizes a two-echo RF line (5 MHz imaging pulse,
 Gaussian envelopes, -6 dBFS and -46 dBFS), digitizes it at 40 MS/s —
 where the SC bias generator has already cut the converter power to
-~45 mW — and measures the reconstruction fidelity of each echo.
+~45 mW — and measures the reconstruction fidelity of each echo.  The
+measurement is shared with the registered ``scenario-ultrasound``
+experiment (``repro scenario-ultrasound``), which claim-checks the
+same numbers.
 
 Run:  python examples/ultrasound_imaging.py
 """
 
-import math
-
-import numpy as np
-
-from repro import AdcConfig, PipelineAdc, PowerModel
-
-
-class PulseEchoLine:
-    """Two Gaussian-windowed imaging pulses on one RF line.
-
-    Implements the :class:`DifferentialSignal` protocol analytically so
-    the front-end tracking model sees exact derivatives.
-    """
-
-    def __init__(self, carrier=5e6, echoes=((4e-6, 0.5), (18e-6, 0.005))):
-        self.carrier = carrier
-        self.echoes = echoes
-        self.width = 0.8e-6  # Gaussian envelope sigma [s]
-
-    def _envelope(self, times, center):
-        return np.exp(-0.5 * ((times - center) / self.width) ** 2)
-
-    def value(self, times: np.ndarray) -> np.ndarray:
-        t = np.asarray(times, dtype=float)
-        omega = 2 * math.pi * self.carrier
-        total = np.zeros_like(t)
-        for center, amplitude in self.echoes:
-            total += amplitude * self._envelope(t, center) * np.sin(omega * t)
-        return total
-
-    def derivative(self, times: np.ndarray) -> np.ndarray:
-        t = np.asarray(times, dtype=float)
-        omega = 2 * math.pi * self.carrier
-        total = np.zeros_like(t)
-        for center, amplitude in self.echoes:
-            envelope = self._envelope(t, center)
-            d_envelope = envelope * (-(t - center) / self.width**2)
-            total += amplitude * (
-                d_envelope * np.sin(omega * t)
-                + envelope * omega * np.cos(omega * t)
-            )
-        return total
-
-
-def echo_fidelity(reconstructed, reference, times, center, width):
-    """rms error relative to echo amplitude inside the echo window."""
-    window = np.abs(times - center) < 3 * width
-    error = reconstructed[window] - reference[window]
-    peak = np.max(np.abs(reference[window]))
-    return np.sqrt(np.mean(error**2)) / peak
+from repro import AdcConfig, PowerModel
+from repro.experiments.scenarios import measure_pulse_echo
 
 
 def main() -> None:
     rate = 40e6
     n_samples = 1024
     config = AdcConfig.paper_default()
-    adc = PipelineAdc(config, conversion_rate=rate, seed=1)
-    line = PulseEchoLine()
-
-    capture = adc.convert(line, n_samples)
-    reconstructed = capture.voltages(config.vref)
-    reference = line.value(capture.sample_times)
 
     power = PowerModel(config).evaluate(rate).total
     print(f"channel power at {rate / 1e6:.0f} MS/s: {power * 1e3:.1f} mW")
@@ -83,16 +32,10 @@ def main() -> None:
           f"{PowerModel(config).evaluate(110e6).total * 1e3:.1f} mW)")
     print()
 
-    for (center, amplitude), label in zip(
-        line.echoes, ("strong near-field echo", "weak deep echo")
-    ):
-        fidelity = echo_fidelity(
-            reconstructed, reference, capture.sample_times, center, line.width
-        )
-        level_db = 20 * math.log10(amplitude / config.vref)
+    for row in measure_pulse_echo(config, rate, n_samples, seed=1):
         print(
-            f"{label:<24} {level_db:+6.1f} dBFS -> relative rms error "
-            f"{100 * fidelity:.2f}%"
+            f"{row['label']:<24} {row['level_dbfs']:+6.1f} dBFS -> relative "
+            f"rms error {100 * row['relative_rms_error']:.2f}%"
         )
 
     # A 128-channel probe budget, the system-level argument:

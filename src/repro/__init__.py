@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from repro.core.adc import ConversionResult, PipelineAdc
+from repro.core.adc_array import AdcArray, ArrayConversionResult
 from repro.core.behavioral import IdealAdc, ideal_transfer_codes
 from repro.core.config import AdcConfig, ScalingPlan, StageConfig, SwitchStyle
 from repro.core.floorplan import Floorplan
@@ -45,8 +46,10 @@ from repro.technology.process import Technology
 from repro.version import __version__
 
 __all__ = [
+    "AdcArray",
     "AdcConfig",
     "AnalysisError",
+    "ArrayConversionResult",
     "CalibrationError",
     "ConfigurationError",
     "ConversionResult",

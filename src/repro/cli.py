@@ -84,6 +84,27 @@ def build_mc_parser() -> argparse.ArgumentParser:
         "--dies", type=int, default=24, metavar="N", help="die count (default 24)"
     )
     parser.add_argument(
+        "--engine",
+        choices=("pool", "vectorized"),
+        default="pool",
+        help=(
+            "execution engine: 'pool' measures one die per task, "
+            "'vectorized' converts die chunks as single (dies, samples) "
+            "NumPy batches; per-die codes are bit-exact across engines "
+            "(default pool)"
+        ),
+    )
+    parser.add_argument(
+        "--die-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "dies per vectorized batch (vectorized engine only; "
+            "default: split across workers, cache-bounded)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -183,6 +204,8 @@ def run_mc(argv: Sequence[str] | None = None) -> int:
         spec=spec,
         n_fft=args.fft_points,
         seed_strategy=args.seed_strategy,
+        engine=args.engine,
+        die_chunk=args.die_chunk,
         workers=args.workers,
         chunk_size=args.chunk_size,
         progress=_stderr_progress if args.progress else None,

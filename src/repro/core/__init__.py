@@ -11,11 +11,14 @@ Public entry points:
   published part.
 - :class:`~repro.core.adc.PipelineAdc` — the converter; call
   :meth:`~repro.core.adc.PipelineAdc.convert`.
+- :class:`~repro.core.adc_array.AdcArray` — a die population converted
+  as one (dies, samples) batch, bit-exact per die with the above.
 - :class:`~repro.core.power.PowerModel` — the Fig. 4 power budget.
 - :class:`~repro.core.floorplan.Floorplan` — the Fig. 7 area budget.
 """
 
 from repro.core.adc import ConversionResult, PipelineAdc
+from repro.core.adc_array import AdcArray, ArrayConversionResult
 from repro.core.behavioral import IdealAdc, ideal_transfer_codes
 from repro.core.calibration import GainCalibration
 from repro.core.config import AdcConfig, ScalingPlan, StageConfig, SwitchStyle
@@ -28,7 +31,9 @@ from repro.core.stage import PipelineStage
 from repro.core.subadc import SubAdc
 
 __all__ = [
+    "AdcArray",
     "AdcConfig",
+    "ArrayConversionResult",
     "BlockArea",
     "ConversionResult",
     "DigitalCorrection",

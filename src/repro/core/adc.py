@@ -36,6 +36,11 @@ from repro.devices.switch import (
     TransmissionGate,
 )
 from repro.errors import ConfigurationError
+from repro.streams import (
+    CONVERT_NOISE_STREAM,
+    SAMPLES_NOISE_STREAM,
+    noise_generator,
+)
 from repro.technology.capacitor import CapacitorMismatchModel
 from repro.technology.corners import OperatingPoint
 
@@ -283,29 +288,37 @@ class PipelineAdc:
     def _stage_references(
         self, count: int, rng: np.random.Generator
     ) -> list[np.ndarray]:
-        """Per-stage delivered reference voltage arrays."""
+        """Per-stage delivered reference voltage arrays.
+
+        All ten MDACs share the one physical reference buffer, so one
+        per-cycle noise record serves the whole chain: sample *n* meets
+        the buffer at cycle *n + i* while it sits in stage *i*, so stage
+        *i* reads the record through an *i*-shifted window.  That keeps
+        the physical correlation structure (neighboring samples in
+        neighboring stages see the same buffer instant) and costs one
+        noise draw instead of one per stage.
+        """
         config = self.config
         dac_capacitance = 2.0 * sum(
             sc.unit_capacitance for sc in config.stage_configs()
         )
-        refs = []
-        for _ in range(config.n_stages):
-            if config.include_reference_noise:
-                refs.append(
-                    config.reference.sample_reference(
-                        count, dac_capacitance, self.conversion_rate, rng
-                    )
-                )
-            else:
-                refs.append(
-                    np.full(
-                        count,
-                        config.reference.effective_reference(
-                            dac_capacitance, self.conversion_rate
-                        ),
-                    )
-                )
-        return refs
+        if config.include_reference_noise:
+            record = config.reference.sample_reference(
+                count + config.n_stages - 1,
+                dac_capacitance,
+                self.conversion_rate,
+                rng,
+            )
+            return [
+                record[..., i : i + count] for i in range(config.n_stages)
+            ]
+        effective = np.full(
+            count,
+            config.reference.effective_reference(
+                dac_capacitance, self.conversion_rate
+            ),
+        )
+        return [effective] * config.n_stages
 
     def convert(
         self,
@@ -319,17 +332,21 @@ class PipelineAdc:
             signal: stimulus exposing value() and derivative().
             n_samples: number of *valid* output words wanted; the
                 pipeline-fill samples are simulated and discarded on top.
-            noise_seed: seed for the per-run noise draws; derived from
-                the die seed when omitted so repeated calls differ from
-                each other but the whole experiment replays.
+            noise_seed: seed for the per-run noise draws; when omitted
+                the stream is spawned from the die seed with
+                ``SeedSequence`` (see :func:`repro.streams.noise_generator`),
+                so the whole experiment replays from the die seed alone
+                and the die-batched engine can reproduce it bit for bit.
 
         Returns:
             A :class:`ConversionResult`.
         """
         if n_samples <= 0:
             raise ConfigurationError("n_samples must be positive")
-        rng = np.random.default_rng(
-            self.seed * 1_000_003 + 17 if noise_seed is None else noise_seed
+        rng = (
+            noise_generator(self.seed, CONVERT_NOISE_STREAM)
+            if noise_seed is None
+            else np.random.default_rng(noise_seed)
         )
         skip = self.correction.latency_cycles
         total = n_samples + skip
@@ -357,10 +374,18 @@ class PipelineAdc:
         feeding held values directly isolates the static transfer.
         """
         held = np.asarray(held_values, dtype=float)
-        if held.ndim != 1 or held.size == 0:
-            raise ConfigurationError("held_values must be a 1-D array")
-        rng = np.random.default_rng(
-            self.seed * 1_000_003 + 29 if noise_seed is None else noise_seed
+        if held.ndim != 1:
+            raise ConfigurationError(
+                f"held_values must be a 1-D array, got shape {held.shape}"
+            )
+        if held.size == 0:
+            raise ConfigurationError("held_values must not be empty")
+        if not np.all(np.isfinite(held)):
+            raise ConfigurationError("held_values must be finite")
+        rng = (
+            noise_generator(self.seed, SAMPLES_NOISE_STREAM)
+            if noise_seed is None
+            else np.random.default_rng(noise_seed)
         )
         skip = self.correction.latency_cycles
         padded = np.concatenate([np.zeros(skip), held])

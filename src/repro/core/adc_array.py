@@ -1,0 +1,304 @@
+"""Die-batched converter: a whole population in one NumPy pass.
+
+Population statistics — Monte Carlo yield, corner spreads, mismatch
+SNDR/DNL distributions — are the paper's headline results, yet the
+per-die :class:`~repro.core.adc.PipelineAdc` converts one die at a
+time.  :class:`AdcArray` makes the die population a first-class array
+axis: D dies x S samples flow through the ten-stage chain, the flash
+and the digital correction as ``(dies, samples)`` blocks, with every
+per-die frozen draw (capacitor ratios, comparator offsets, opamp bias
+points) stacked into ``(dies, 1)`` parameter columns that broadcast
+against the sample axis.
+
+Equivalence contract — die *d* of a batch is **bit-exact** with the
+same die simulated alone:
+
+* Construction builds one ``PipelineAdc`` per die (the frozen mismatch
+  draws follow the per-die replay contract by construction) and stacks
+  the resulting parameters.
+* Conversion noise comes from per-die streams
+  (:class:`repro.streams.DieStreams`): every ``(dies, samples)`` noise
+  block is drawn row by row from the owning die's generator, derived
+  from the die seed exactly as ``PipelineAdc`` derives it.
+
+The front-end acquisition (tracking, pedestal, droop) runs per die —
+its switch physics is scalar in the per-die operating point and it is a
+small, fixed slice of the conversion — while everything downstream of
+the held voltages is batched.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.clocking import PhaseTiming
+from repro.core.adc import ConversionResult, DifferentialSignal, PipelineAdc
+from repro.core.config import AdcConfig
+from repro.core.flash import FlashBackend
+from repro.core.stage import PipelineStage
+from repro.errors import ConfigurationError
+from repro.streams import (
+    CONVERT_NOISE_STREAM,
+    SAMPLES_NOISE_STREAM,
+    DieStreams,
+)
+from repro.technology.corners import OperatingPointArray
+from repro.technology.montecarlo import ProcessSample
+
+
+@dataclass(frozen=True)
+class ArrayConversionResult:
+    """Output of one die-batched conversion run.
+
+    Attributes:
+        codes: output words in [0, 2^R - 1], shape (dies, n_samples).
+        stage_codes: aligned per-stage decisions
+            (dies, n_samples, n_stages).
+        flash_codes: aligned flash codes (dies, n_samples).
+        sample_times: jittered acquisition instants [s]
+            (dies, n_samples).
+        timing: the shared phase budget the conversion ran with.
+        resolution: output word width [bits].
+    """
+
+    codes: np.ndarray
+    stage_codes: np.ndarray
+    flash_codes: np.ndarray
+    sample_times: np.ndarray
+    timing: PhaseTiming
+    resolution: int
+
+    @property
+    def n_dies(self) -> int:
+        return self.codes.shape[0]
+
+    def voltages(self, vref: float) -> np.ndarray:
+        """Codes mapped back to differential volts (bin centers)."""
+        lsb = 2.0 * vref / (1 << self.resolution)
+        return (self.codes.astype(float) + 0.5) * lsb - vref
+
+    def die(self, index: int, bias=None) -> ConversionResult:
+        """One die's slice as a per-die :class:`ConversionResult`."""
+        return ConversionResult(
+            codes=self.codes[index],
+            stage_codes=self.stage_codes[index],
+            flash_codes=self.flash_codes[index],
+            sample_times=self.sample_times[index],
+            timing=self.timing,
+            bias=bias,
+            resolution=self.resolution,
+        )
+
+
+class AdcArray:
+    """A die population of the reproduced converter.
+
+    Args:
+        config: shared electrical configuration.
+        conversion_rate: f_CR every die is clocked at [Hz].
+        samples: the die realizations — a list of
+            :class:`~repro.technology.montecarlo.ProcessSample` or a
+            :class:`~repro.technology.montecarlo.ProcessSampleArray`.
+
+    Raises:
+        ConfigurationError: for an empty population.
+        ModelDomainError: if the clock scheme leaves no settling window
+            at the requested rate.
+    """
+
+    def __init__(
+        self,
+        config: AdcConfig,
+        conversion_rate: float,
+        samples: Sequence[ProcessSample],
+    ):
+        samples = list(samples)
+        if not samples:
+            raise ConfigurationError("AdcArray needs at least one die")
+        self.config = config
+        self.conversion_rate = conversion_rate
+        #: Per-die converters; construction replays each die's frozen
+        #: mismatch draws exactly as the per-die path would.
+        self.dies: list[PipelineAdc] = [
+            PipelineAdc(
+                config,
+                conversion_rate,
+                operating_point=sample.operating_point,
+                seed=sample.seed,
+            )
+            for sample in samples
+        ]
+        self.seeds: list[int] = [sample.seed for sample in samples]
+        self.operating_points = OperatingPointArray(
+            sample.operating_point for sample in samples
+        )
+        self.timing = self.dies[0].timing
+        self.correction = self.dies[0].correction
+        self.stages: list[PipelineStage] = [
+            PipelineStage.stack([die.stages[i] for die in self.dies])
+            for i in range(config.n_stages)
+        ]
+        self.flash = FlashBackend.stack([die.flash for die in self.dies])
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.dies)
+
+    # --- stacked mismatch diagnostics ------------------------------------
+
+    @property
+    def ratio_errors(self) -> np.ndarray:
+        """Frozen capacitor ratio errors, shape (dies, n_stages)."""
+        return np.array(
+            [[s.mdac.ratio_error for s in die.stages] for die in self.dies]
+        )
+
+    @property
+    def comparator_offsets(self) -> np.ndarray:
+        """Frozen ADSC comparator offsets, shape (dies, n_stages, 2)."""
+        return np.array(
+            [[s.subadc.offsets for s in die.stages] for die in self.dies]
+        )
+
+    @property
+    def stage_currents(self) -> np.ndarray:
+        """Per-die mirrored bias currents, shape (dies, n_stages)."""
+        return np.array([die.bias_report.stage_currents for die in self.dies])
+
+    # --- conversion -------------------------------------------------------
+
+    def _streams(self, stream: int) -> DieStreams:
+        return DieStreams.for_noise(self.seeds, stream)
+
+    def _sample_instants(self, count: int, streams: DieStreams) -> np.ndarray:
+        if self.config.include_jitter:
+            times = self.config.clock.sample_times(
+                count, self.conversion_rate, streams
+            )
+        else:
+            times = np.arange(count) * self.timing.period
+        if times.ndim == 1:
+            # Jitter disabled (or zero): every die samples on the grid.
+            times = np.broadcast_to(times, (self.n_dies, count))
+        return times
+
+    def _stage_references(
+        self, count: int, streams: DieStreams
+    ) -> list[np.ndarray]:
+        """Per-stage delivered reference blocks, (dies, samples) each.
+
+        Delegates to the per-die implementation, which is written on the
+        shared configuration and draws through whatever stream bundle it
+        is handed — the windowing into per-stage views broadcasts over
+        the die axis.
+        """
+        return self.dies[0]._stage_references(count, streams)
+
+    def convert(
+        self,
+        signal: DifferentialSignal,
+        n_samples: int,
+    ) -> ArrayConversionResult:
+        """Digitize ``n_samples`` output words of a signal on every die.
+
+        Each die samples the same stimulus through its own jitter,
+        front end and noise streams — row *d* of the result is bit-exact
+        with ``self.dies[d].convert(signal, n_samples)``.
+        """
+        if n_samples <= 0:
+            raise ConfigurationError("n_samples must be positive")
+        streams = self._streams(CONVERT_NOISE_STREAM)
+        skip = self.correction.latency_cycles
+        total = n_samples + skip
+
+        times = self._sample_instants(total, streams)
+        values = np.asarray(signal.value(times), dtype=float)
+        derivatives = np.asarray(signal.derivative(times), dtype=float)
+        if values.shape != times.shape or derivatives.shape != times.shape:
+            raise ConfigurationError(
+                "signal value/derivative must match the time array shape"
+            )
+        # Front-end acquisition stays per die: the switch physics is
+        # scalar in each die's operating point, and each row must keep
+        # drawing from its own stream in the per-die order.
+        held = np.empty(times.shape)
+        for index, die in enumerate(self.dies):
+            held[index] = die._acquire(
+                values[index], derivatives[index], streams.generator(index)
+            )
+        return self._convert_held(held, times, streams, skip)
+
+    def convert_samples(
+        self,
+        held_values: np.ndarray,
+    ) -> ArrayConversionResult:
+        """Digitize pre-acquired held voltages on every die.
+
+        Args:
+            held_values: a 1-D array applied identically to every die
+                (the usual shared linearity ramp), or a
+                (dies, n_samples) block with one record per die.
+        """
+        held = np.asarray(held_values, dtype=float)
+        if held.size == 0:
+            raise ConfigurationError("held_values must not be empty")
+        if held.ndim == 1:
+            held = np.broadcast_to(held, (self.n_dies, held.size))
+        elif held.ndim == 2:
+            if held.shape[0] != self.n_dies:
+                raise ConfigurationError(
+                    f"held_values rows ({held.shape[0]}) must match the "
+                    f"die count ({self.n_dies})"
+                )
+        else:
+            raise ConfigurationError(
+                f"held_values must be 1-D or (dies, n), got shape {held.shape}"
+            )
+        if not np.all(np.isfinite(held)):
+            raise ConfigurationError("held_values must be finite")
+        streams = self._streams(SAMPLES_NOISE_STREAM)
+        skip = self.correction.latency_cycles
+        padded = np.concatenate(
+            [np.zeros((self.n_dies, skip)), held], axis=1
+        )
+        times = np.broadcast_to(
+            np.arange(padded.shape[1]) * self.timing.period, padded.shape
+        )
+        return self._convert_held(padded, times, streams, skip)
+
+    def _convert_held(
+        self,
+        held: np.ndarray,
+        times: np.ndarray,
+        streams: DieStreams,
+        skip: int,
+    ) -> ArrayConversionResult:
+        total = held.shape[1]
+        references = self._stage_references(total, streams)
+        stage_codes = np.empty(
+            (self.n_dies, total, self.config.n_stages), dtype=int
+        )
+        residue = held
+        for stage, refs in zip(self.stages, references):
+            output = stage.process(
+                residue, refs, self.operating_points, streams
+            )
+            stage_codes[:, :, stage.index] = output.codes
+            residue = output.residues
+        flash_codes = self.flash.decide(residue, streams)
+
+        aligned_codes, aligned_flash = self.correction.align(
+            stage_codes, flash_codes
+        )
+        words = self.correction.combine(aligned_codes, aligned_flash)
+        return ArrayConversionResult(
+            codes=words,
+            stage_codes=aligned_codes,
+            flash_codes=aligned_flash,
+            sample_times=times[:, skip:],
+            timing=self.timing,
+            resolution=self.config.resolution,
+        )

@@ -76,29 +76,35 @@ class DigitalCorrection:
         """Reconstruct output words from aligned decisions.
 
         Args:
-            stage_codes: integer array, shape (n_samples, n_stages),
-                values in {-1, 0, +1}.
-            flash_codes: integer array, shape (n_samples,), values in
+            stage_codes: integer array, shape (..., n_samples, n_stages),
+                values in {-1, 0, +1}.  Leading axes (e.g. a die axis)
+                are carried through unchanged.
+            flash_codes: integer array, shape (..., n_samples), values in
                 [0, 2^flash_bits - 1].
 
         Returns:
-            Output codes in [0, 2^resolution - 1], dtype int.
+            Output codes in [0, 2^resolution - 1], dtype int, shape
+            (..., n_samples).
         """
         codes = np.asarray(stage_codes)
         flash = np.asarray(flash_codes)
-        if codes.ndim != 2 or codes.shape[1] != self.n_stages:
+        if codes.ndim < 2 or codes.shape[-1] != self.n_stages:
             raise ConfigurationError(
-                f"stage_codes must be (n, {self.n_stages}), got {codes.shape}"
+                f"stage_codes must be (..., n, {self.n_stages}), "
+                f"got {codes.shape}"
             )
-        if flash.shape != (codes.shape[0],):
+        if flash.shape != codes.shape[:-1]:
             raise ConfigurationError(
-                "flash_codes length must match stage_codes rows"
+                "flash_codes shape must match stage_codes without the "
+                "stage axis"
             )
         if codes.min(initial=0) < -1 or codes.max(initial=0) > 1:
             raise ConfigurationError("stage codes must be in {-1, 0, +1}")
         if flash.min(initial=0) < 0 or flash.max(initial=0) >= (1 << self.flash_bits):
             raise ConfigurationError("flash codes out of range")
 
+        # The matmul contracts the trailing stage axis, so any leading
+        # batch axes (die populations) ride along for free.
         weights = 2 ** np.arange(self.resolution - 2, self.flash_bits - 2, -1)
         assert weights.shape == (self.n_stages,)
         base = (1 << (self.resolution - 1)) - (1 << (self.flash_bits - 1))
@@ -118,8 +124,9 @@ class DigitalCorrection:
         garbage while the physical pipeline fills.
 
         Args:
-            stage_code_stream: (n_samples, n_stages) decisions.
-            flash_code_stream: (n_samples,) flash codes.
+            stage_code_stream: (..., n_samples, n_stages) decisions;
+                leading axes (a die axis) are carried through.
+            flash_code_stream: (..., n_samples) flash codes.
 
         Returns:
             The (stage_codes, flash_codes) with the fill-in period
@@ -128,11 +135,15 @@ class DigitalCorrection:
         skip = self.latency_cycles
         codes = np.asarray(stage_code_stream)
         flash = np.asarray(flash_code_stream)
-        if codes.shape[0] <= skip:
+        if codes.ndim < 2:
+            raise ConfigurationError(
+                "stage codes must be (..., n_samples, n_stages)"
+            )
+        if codes.shape[-2] <= skip:
             raise ConfigurationError(
                 f"need more than {skip} samples to cover pipeline latency"
             )
-        return codes[skip:], flash[skip:]
+        return codes[..., skip:, :], flash[..., skip:]
 
     def decode_to_voltage(self, output_codes: np.ndarray, vref: float) -> np.ndarray:
         """Map output codes back to differential input voltages [V].

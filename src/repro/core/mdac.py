@@ -21,14 +21,15 @@ layers the real-life errors on top:
 
 from __future__ import annotations
 
-import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.devices.opamp import TwoStageMillerOpamp
 from repro.errors import ConfigurationError
-from repro.technology.corners import OperatingPoint
+from repro.streams import any_true, shared_value
+from repro.technology.corners import OperatingPoint, OperatingPointArray
 from repro.units import BOLTZMANN
 
 
@@ -47,6 +48,10 @@ class Mdac:
         include_noise: add opamp sampled noise.
         include_sampling_noise: add this stage's own kT/C acquisition
             noise (off for stage 1, whose front-end network owns it).
+
+    ``ratio_error`` (and the opamp parameters) may be (dies, 1) columns
+    for a die-stacked instance (see :meth:`stack`); the residue
+    expressions broadcast either way.
     """
 
     unit_capacitance: float
@@ -62,24 +67,59 @@ class Mdac:
     def __post_init__(self) -> None:
         if self.unit_capacitance <= 0:
             raise ConfigurationError("unit capacitance must be positive")
-        if abs(self.ratio_error) >= 0.5:
+        if any_true(abs(self.ratio_error) >= 0.5):
             raise ConfigurationError(
                 "capacitor ratio error beyond 50% is outside the model"
             )
-        if self.load_capacitance <= 0 or self.summing_parasitic < 0:
+        if any_true(self.load_capacitance <= 0) or self.summing_parasitic < 0:
             raise ConfigurationError("load/parasitic capacitances invalid")
         if self.settle_time <= 0:
             raise ConfigurationError("settle time must be positive")
 
+    @classmethod
+    def stack(cls, mdacs: Sequence["Mdac"]) -> "Mdac":
+        """One MDAC whose per-die draws are (dies, 1) columns.
+
+        Everything that is configuration (capacitor sizes, timing,
+        impairment switches) must agree across the dies; the frozen
+        mismatch draw and the per-die opamp bias point are stacked.
+        """
+        return cls(
+            unit_capacitance=shared_value(
+                (m.unit_capacitance for m in mdacs), "unit_capacitance"
+            ),
+            ratio_error=np.array([[m.ratio_error] for m in mdacs]),
+            opamp=TwoStageMillerOpamp.stack([m.opamp for m in mdacs]),
+            # The load carries the die's absolute capacitance scale, so
+            # it is a per-die column, not shared configuration.
+            load_capacitance=np.array([[m.load_capacitance] for m in mdacs]),
+            summing_parasitic=shared_value(
+                (m.summing_parasitic for m in mdacs), "summing_parasitic"
+            ),
+            settle_time=shared_value(
+                (m.settle_time for m in mdacs), "settle_time"
+            ),
+            include_settling=shared_value(
+                (m.include_settling for m in mdacs), "include_settling"
+            ),
+            include_noise=shared_value(
+                (m.include_noise for m in mdacs), "include_noise"
+            ),
+            include_sampling_noise=shared_value(
+                (m.include_sampling_noise for m in mdacs),
+                "include_sampling_noise",
+            ),
+        )
+
     # --- small-signal quantities ----------------------------------------
 
     @property
-    def capacitor_ratio(self) -> float:
+    def capacitor_ratio(self):
         """C1/C2 including the mismatch draw."""
         return 1.0 + self.ratio_error
 
     @property
-    def feedback_factor(self) -> float:
+    def feedback_factor(self):
         """Closed-loop beta = C2 / (C1 + C2 + C_parasitic + C_in)."""
         c2 = self.unit_capacitance
         c1 = c2 * self.capacitor_ratio
@@ -90,24 +130,26 @@ class Mdac:
         return c2 / c_sum
 
     @property
-    def ideal_gain(self) -> float:
+    def ideal_gain(self):
         """Interstage gain 1 + C1/C2 (=2 for matched caps)."""
         return 1.0 + self.capacitor_ratio
 
-    def static_gain_error(self) -> float:
+    def static_gain_error(self):
         """Fractional gain error from finite opamp DC gain."""
         return self.opamp.static_gain_error(self.feedback_factor)
 
-    def sampling_capacitance(self) -> float:
+    def sampling_capacitance(self):
         """Per-side acquisition capacitance C1 + C2 [F]."""
         return self.unit_capacitance * (1.0 + self.capacitor_ratio)
 
-    def sampling_noise_rms(self, operating_point: OperatingPoint) -> float:
+    def sampling_noise_rms(
+        self, operating_point: OperatingPoint | OperatingPointArray
+    ):
         """Differential kT/C noise of this stage's own acquisition [V]."""
         c_actual = (
             self.sampling_capacitance() * operating_point.capacitance_scale()
         )
-        return math.sqrt(
+        return np.sqrt(
             2.0 * BOLTZMANN * operating_point.temperature_k / c_actual
         )
 
@@ -133,18 +175,22 @@ class Mdac:
         inputs: np.ndarray,
         codes: np.ndarray,
         references: np.ndarray,
-        operating_point: OperatingPoint,
-        rng: np.random.Generator,
+        operating_point: OperatingPoint | OperatingPointArray,
+        rng,
     ) -> np.ndarray:
         """Produce the residue actually delivered to the next stage [V].
 
         Args:
             inputs: held stage inputs [V] (already include acquisition
-                noise when ``include_sampling_noise`` is False).
+                noise when ``include_sampling_noise`` is False).  A
+                die-stacked MDAC accepts (dies, samples) blocks.
             codes: ADSC decisions in {-1, 0, +1}.
             references: per-sample delivered reference voltages [V].
-            operating_point: PVT context for noise temperatures.
-            rng: generator for noise draws.
+            operating_point: PVT context for noise temperatures (an
+                :class:`~repro.technology.corners.OperatingPointArray`
+                for stacked runs).
+            rng: generator (or :class:`repro.streams.DieStreams`) for
+                noise draws.
         """
         v = np.asarray(inputs, dtype=float)
         if self.include_sampling_noise:
@@ -175,11 +221,11 @@ class Mdac:
             residue = residue + rng.normal(0.0, noise, size=residue.shape)
         return residue
 
-    def settling_error_bound(self) -> float:
+    def settling_error_bound(self):
         """Linear settling error exp(-T/tau) at this bias point.
 
         Diagnostic used by the Fig. 5 analysis: the per-stage fractional
         gain shortfall due to finite bandwidth (slew-free).
         """
         tau = self.opamp.closed_loop_tau(self.feedback_factor)
-        return math.exp(-self.settle_time / tau)
+        return np.exp(-self.settle_time / tau)

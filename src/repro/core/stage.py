@@ -10,13 +10,15 @@ end of the amplification phase.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.mdac import Mdac
 from repro.core.subadc import SubAdc
-from repro.technology.corners import OperatingPoint
+from repro.streams import shared_value
+from repro.technology.corners import OperatingPoint, OperatingPointArray
 
 
 @dataclass(frozen=True)
@@ -47,20 +49,39 @@ class PipelineStage:
         self.subadc = subadc
         self.mdac = mdac
 
+    @classmethod
+    def stack(cls, stages: Sequence["PipelineStage"]) -> "PipelineStage":
+        """One stage processing a (dies, samples) block in one pass.
+
+        Stacks the same-index stage of every die: the sub-ADC offsets,
+        the MDAC mismatch draw and the opamp bias point become (dies, 1)
+        columns while all configuration stays shared.
+        """
+        index = shared_value((s.index for s in stages), "stage index")
+        return cls(
+            index=index,
+            subadc=SubAdc.stack([s.subadc for s in stages]),
+            mdac=Mdac.stack([s.mdac for s in stages]),
+        )
+
     def process(
         self,
         inputs: np.ndarray,
         references: np.ndarray,
-        operating_point: OperatingPoint,
-        rng: np.random.Generator,
+        operating_point: OperatingPoint | OperatingPointArray,
+        rng,
     ) -> StageOutput:
         """Run the stage over a sample array.
 
         Args:
-            inputs: held differential stage inputs [V].
+            inputs: held differential stage inputs [V]; a stacked stage
+                accepts (dies, samples) blocks.
             references: per-sample delivered reference voltages [V].
-            operating_point: PVT context.
-            rng: generator for decision noise / MDAC noise.
+            operating_point: PVT context (an
+                :class:`~repro.technology.corners.OperatingPointArray`
+                for stacked runs).
+            rng: generator (or :class:`repro.streams.DieStreams`) for
+                decision noise / MDAC noise.
 
         Returns:
             The decisions and the residues for the next stage.

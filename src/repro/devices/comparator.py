@@ -11,11 +11,20 @@ tests verify the pipeline digests all of it.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.streams import normal_where, random_where, shared_value
+
+#: Inputs farther than this many noise sigmas from the effective
+#: threshold never draw decision noise: the flip probability out there
+#: is below 1e-15, so the draw cannot change the outcome and is skipped.
+#: The metastability window is added on top so the lazy band always
+#: covers every sample the metastability check could touch.
+_NOISE_CUT_SIGMA = 8.0
 
 
 @dataclass(frozen=True)
@@ -63,22 +72,54 @@ class DynamicComparator:
         self.parameters = parameters
         self.offset = float(rng.normal(0.0, parameters.offset_sigma))
 
+    @classmethod
+    def stack(cls, comparators: Sequence["DynamicComparator"]) -> "DynamicComparator":
+        """One comparator whose frozen offset is a (dies, 1) column.
+
+        The stacked instance decides ``(dies, samples)`` input blocks in
+        one pass: the nominal threshold and the statistical parameters
+        are configuration (must agree across dies), only the frozen
+        offset draw differs die to die.
+        """
+        stacked = cls.__new__(cls)
+        stacked.threshold = shared_value(
+            (c.threshold for c in comparators), "threshold"
+        )
+        stacked.parameters = shared_value(
+            (c.parameters for c in comparators), "comparator parameters"
+        )
+        stacked.offset = np.array([[c.offset] for c in comparators])
+        return stacked
+
     @property
-    def effective_threshold(self) -> float:
-        """Nominal threshold plus the frozen offset [V]."""
+    def effective_threshold(self):
+        """Nominal threshold plus the frozen offset [V].
+
+        A float for a single die; a (dies, 1) column for a stacked bank.
+        """
         return self.threshold + self.offset
 
     def compare(
         self,
         inputs: np.ndarray,
-        rng: np.random.Generator,
+        rng,
         previous: np.ndarray | None = None,
     ) -> np.ndarray:
         """Decide ``inputs > threshold`` per sample, with impairments.
 
+        Noise and metastability draws are made only for samples inside
+        the near-threshold band (``_NOISE_CUT_SIGMA`` sigmas plus the
+        metastability window): outside it the decision is already
+        certain, so skipping the draw changes nothing while removing
+        most of the random-number cost of a conversion.  The draw
+        pattern is a deterministic function of the inputs, so a seeded
+        run still replays exactly — per die and batched alike.
+
         Args:
-            inputs: differential input voltages [V].
-            rng: generator for per-decision noise and metastability.
+            inputs: differential input voltages [V]; a stacked
+                comparator accepts (dies, samples) blocks.
+            rng: generator (or :class:`repro.streams.DieStreams`) for
+                per-decision noise and metastability.
             previous: previous decisions (booleans) for hysteresis; None
                 disables the history term.
 
@@ -88,24 +129,33 @@ class DynamicComparator:
         v = np.asarray(inputs, dtype=float)
         p = self.parameters
         threshold = self.effective_threshold
-        noise = rng.normal(0.0, p.noise_rms, size=v.shape) if p.noise_rms else 0.0
-        shift = np.zeros_like(v)
-        if previous is not None and p.hysteresis > 0:
+        if previous is not None:
             history = np.asarray(previous, dtype=bool)
             if history.shape != v.shape:
                 raise ConfigurationError(
                     "previous-decision array must match the input shape"
                 )
+        if previous is not None and p.hysteresis > 0:
             # A previous "high" decision lowers the effective threshold a
             # touch (easier to stay high), and vice versa.
             shift = np.where(history, -p.hysteresis, p.hysteresis)
-        margin = v + noise - (threshold + shift)
+            margin = v - (threshold + shift)
+        else:
+            margin = v - threshold
+        if p.noise_rms == 0 and p.metastability_window == 0:
+            return margin > 0
+        near = np.abs(margin) < (
+            _NOISE_CUT_SIGMA * p.noise_rms + p.metastability_window
+        )
+        if p.noise_rms:
+            margin = margin + normal_where(rng, near, p.noise_rms)
         decisions = margin > 0
         if p.metastability_window > 0:
+            # Only near-band samples can land inside the window: outside
+            # it |margin| already exceeds the cut, which is >= the window.
             metastable = np.abs(margin) < p.metastability_window
-            if np.any(metastable):
-                coin = rng.random(size=v.shape) < 0.5
-                decisions = np.where(metastable, coin, decisions)
+            coin = random_where(rng, metastable)
+            decisions = np.where(metastable, coin < 0.5, decisions)
         return decisions
 
 

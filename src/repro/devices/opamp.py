@@ -21,11 +21,13 @@ a knee is inevitable.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ModelDomainError
+from repro.streams import any_true
 from repro.units import BOLTZMANN, ROOM_TEMPERATURE
 
 
@@ -48,6 +50,11 @@ class OpampParameters:
         input_capacitance: differential input capacitance [F]; degrades
             the feedback factor.
         quiescent_current: total opamp supply current at this bias [A].
+
+    Every field is a float for one opamp instance, or a (dies, 1)
+    column array for a die-stacked instance (see
+    :meth:`TwoStageMillerOpamp.stack`) — the electrical expressions
+    broadcast either way.
     """
 
     dc_gain: float
@@ -60,21 +67,23 @@ class OpampParameters:
     quiescent_current: float = 1e-3
 
     def __post_init__(self) -> None:
-        if self.dc_gain <= 1:
+        if any_true(self.dc_gain <= 1):
             raise ConfigurationError("opamp DC gain must exceed 1 V/V")
-        if self.unity_gain_bandwidth <= 0:
+        if any_true(self.unity_gain_bandwidth <= 0):
             raise ConfigurationError("GBW must be positive")
-        if self.slew_rate <= 0:
+        if any_true(self.slew_rate <= 0):
             raise ConfigurationError("slew rate must be positive")
-        if self.output_swing <= 0:
+        if any_true(self.output_swing <= 0):
             raise ConfigurationError("output swing must be positive")
-        if self.compression < 0:
+        if any_true(self.compression < 0):
             raise ConfigurationError("compression must be non-negative")
-        if self.noise_excess_factor < 1.0:
+        if any_true(self.noise_excess_factor < 1.0):
             raise ConfigurationError(
                 "noise excess factor below 1 would beat kT/C — unphysical"
             )
-        if self.input_capacitance < 0 or self.quiescent_current < 0:
+        if any_true(self.input_capacitance < 0) or any_true(
+            self.quiescent_current < 0
+        ):
             raise ConfigurationError(
                 "input capacitance and quiescent current must be >= 0"
             )
@@ -109,11 +118,35 @@ class TwoStageMillerOpamp:
     def __init__(self, parameters: OpampParameters):
         self.parameters = parameters
 
+    @classmethod
+    def stack(cls, opamps: Sequence["TwoStageMillerOpamp"]) -> "TwoStageMillerOpamp":
+        """One opamp whose parameters are (dies, 1) columns.
+
+        The stacked instance settles / compresses (dies, samples) blocks
+        in one pass; each die row sees its own bias point, exactly as the
+        per-die instances would.
+        """
+        def column(name: str) -> np.ndarray:
+            return np.array([[getattr(o.parameters, name)] for o in opamps])
+
+        return cls(
+            OpampParameters(
+                dc_gain=column("dc_gain"),
+                unity_gain_bandwidth=column("unity_gain_bandwidth"),
+                slew_rate=column("slew_rate"),
+                output_swing=column("output_swing"),
+                compression=column("compression"),
+                noise_excess_factor=column("noise_excess_factor"),
+                input_capacitance=column("input_capacitance"),
+                quiescent_current=column("quiescent_current"),
+            )
+        )
+
     # --- closed-loop helpers -------------------------------------------
 
-    def closed_loop_tau(self, feedback_factor: float) -> float:
+    def closed_loop_tau(self, feedback_factor):
         """Closed-loop settling time constant 1/(2*pi*beta*GBW) [s]."""
-        if not 0 < feedback_factor <= 1:
+        if any_true(feedback_factor <= 0) or any_true(feedback_factor > 1):
             raise ModelDomainError(
                 f"feedback factor must be in (0, 1], got {feedback_factor}"
             )
@@ -121,9 +154,9 @@ class TwoStageMillerOpamp:
             2.0 * math.pi * feedback_factor * self.parameters.unity_gain_bandwidth
         )
 
-    def static_gain_error(self, feedback_factor: float) -> float:
+    def static_gain_error(self, feedback_factor):
         """Fractional closed-loop gain error 1/(1 + A0*beta)."""
-        if not 0 < feedback_factor <= 1:
+        if any_true(feedback_factor <= 0) or any_true(feedback_factor > 1):
             raise ModelDomainError(
                 f"feedback factor must be in (0, 1], got {feedback_factor}"
             )
@@ -170,10 +203,21 @@ class TwoStageMillerOpamp:
 
         step = target - start
         magnitude = np.abs(step)
-        sign = np.sign(step)
         linear_knee = slew_rate * tau  # error level where slewing hands over
 
         slewing = magnitude > linear_knee
+        if not np.any(slewing):
+            # Pure exponential settling everywhere: the decay factor is
+            # constant per amplifier, so the whole block reduces to a
+            # single fused expression.  Bit-identical to the general
+            # path below (IEEE multiplication is sign-symmetric).
+            decay = np.exp(-settle_time / tau)
+            return SettlingResult(
+                output=target - step * decay,
+                slewing_fraction=0.0,
+                incomplete_fraction=0.0,
+            )
+        sign = np.sign(step)
         # Time spent slewing to bring the error down to the knee.
         t_slew = np.where(slewing, (magnitude - linear_knee) / slew_rate, 0.0)
 
@@ -211,21 +255,22 @@ class TwoStageMillerOpamp:
 
     def sampled_noise_rms(
         self,
-        feedback_factor: float,
+        feedback_factor,
         load_capacitance: float,
-        temperature_k: float = ROOM_TEMPERATURE,
-    ) -> float:
+        temperature_k=ROOM_TEMPERATURE,
+    ):
         """Input-referred rms noise sampled at the end of amplification [V].
 
         The closed-loop amplifier band-limits its own noise to
         ``pi/2 * beta * GBW``; integrating the white input noise over that
         band gives the familiar ``NEF * kT / (beta * C_load)`` charge
         noise.  The excess factor folds in the current sources and the
-        second stage.
+        second stage.  Returns a float, or a (dies, 1) column when the
+        feedback factor / temperature are per-die columns.
         """
-        if load_capacitance <= 0:
+        if any_true(load_capacitance <= 0):
             raise ModelDomainError("load capacitance must be positive")
-        if not 0 < feedback_factor <= 1:
+        if any_true(feedback_factor <= 0) or any_true(feedback_factor > 1):
             raise ModelDomainError(
                 f"feedback factor must be in (0, 1], got {feedback_factor}"
             )
@@ -236,7 +281,7 @@ class TwoStageMillerOpamp:
             * temperature_k
             / (feedback_factor * load_capacitance)
         )
-        return math.sqrt(variance)
+        return np.sqrt(variance)
 
     def power(self, supply_voltage: float) -> float:
         """Static power drawn from the supply at this bias point [W]."""

@@ -164,5 +164,6 @@ def _load_all() -> None:
         fig5_vs_rate,
         fig6_vs_fin,
         fig8_fom,
+        scenarios,
         table1,
     )

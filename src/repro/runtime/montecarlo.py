@@ -1,12 +1,21 @@
 """Monte Carlo yield analysis on the batch runtime.
 
-Wraps the full per-die measurement (coherent tone capture for SNDR/ENOB
-plus an over-ranged ramp for DNL) as a picklable task so
-:class:`~repro.runtime.batch.BatchRunner` can fan dies out across a
-worker pool.  A serial run (``workers=1``) is bit-exact with the legacy
-loop in ``examples/montecarlo_yield.py``: the dies come from the same
-:class:`~repro.technology.montecarlo.MonteCarloSampler` draw order and
-each die's measurement depends only on its own task record.
+Two execution engines measure the same die population:
+
+* ``engine="pool"`` — one task per die (the PR-1 shape): a worker
+  builds the die's :class:`~repro.core.adc.PipelineAdc` and measures it
+  alone.  ``workers=1`` is the serial per-die loop.
+* ``engine="vectorized"`` — dies are grouped into chunks and each chunk
+  is converted as one :class:`~repro.core.adc_array.AdcArray` batch
+  (one NumPy pass for D dies x S samples, batched FFTs and batched
+  code-density histograms).  The engines compose: with ``workers > 1``
+  the pool fans the vectorized chunks out across processes.
+
+The engines are interchangeable by construction: per-die noise streams
+are derived from the die seed alone (:mod:`repro.streams`), so a die's
+output codes are bit-exact across engines, worker counts and chunk
+sizes; the derived SNDR/ENOB metrics agree to floating-point
+association in the batched FFT (documented tolerance ~1e-9 dB).
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.adc import PipelineAdc
+from repro.core.adc_array import AdcArray
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.reporting import format_table
@@ -24,6 +34,7 @@ from repro.runtime.batch import (
     BatchResult,
     BatchRunner,
     ProgressCallback,
+    TaskOutcome,
     json_safe,
 )
 from repro.signal.generators import SineGenerator
@@ -34,6 +45,11 @@ from repro.technology.montecarlo import MonteCarloSampler, ProcessSample
 #: Default ramp over-range (fraction of full scale) and oversampling,
 #: matching the legacy yield example.
 _RAMP_OVERDRIVE = 1.02
+
+#: Default die-chunk size for the vectorized engine when the pool is
+#: not consulted: big enough to amortize Python dispatch, small enough
+#: that the (dies, samples) working set stays cache-friendly.
+_DEFAULT_DIE_CHUNK = 8
 
 
 @dataclass(frozen=True)
@@ -130,6 +146,26 @@ class DieMetrics:
         }
 
 
+def _die_metrics(
+    die: ProcessSample, spec: YieldSpec, spectrum, linearity
+) -> DieMetrics:
+    """Assemble one die's record from its measured spectrum and ramp."""
+    dnl_peak = max(abs(linearity.dnl_min), abs(linearity.dnl_max))
+    point = die.operating_point
+    return DieMetrics(
+        index=die.index,
+        corner=point.corner.value,
+        temperature_c=point.temperature_c,
+        supply_scale=point.supply_scale,
+        cap_scale=point.cap_scale,
+        seed=die.seed,
+        sndr_db=spectrum.sndr_db,
+        enob_bits=spectrum.enob_bits,
+        dnl_peak_lsb=dnl_peak,
+        passed=spec.passes(spectrum.enob_bits, dnl_peak),
+    )
+
+
 def measure_die(task: DieTask) -> DieMetrics:
     """Measure one die: dynamic (SNDR/ENOB) and static (DNL) screens.
 
@@ -155,19 +191,73 @@ def measure_die(task: DieTask) -> DieMetrics:
         -_RAMP_OVERDRIVE, _RAMP_OVERDRIVE, n_codes * task.ramp_points_per_code
     )
     linearity = ramp_linearity(adc.convert_samples(ramp).codes, n_codes)
-    dnl_peak = max(abs(linearity.dnl_min), abs(linearity.dnl_max))
-    point = die.operating_point
-    return DieMetrics(
-        index=die.index,
-        corner=point.corner.value,
-        temperature_c=point.temperature_c,
-        supply_scale=point.supply_scale,
-        cap_scale=point.cap_scale,
-        seed=die.seed,
-        sndr_db=metrics.sndr_db,
-        enob_bits=metrics.enob_bits,
-        dnl_peak_lsb=dnl_peak,
-        passed=spec.passes(metrics.enob_bits, dnl_peak),
+    return _die_metrics(die, spec, metrics, linearity)
+
+
+@dataclass(frozen=True)
+class DieChunkTask:
+    """Everything one worker needs to measure a chunk of dies at once.
+
+    Attributes:
+        samples: the chunk's die realizations, in batch order.
+        config: converter configuration.
+        spec: measurement conditions and screen limits.
+        n_fft: coherent capture length for the spectral measurement.
+        ramp_points_per_code: ramp samples per output code.
+    """
+
+    samples: tuple[ProcessSample, ...]
+    config: AdcConfig
+    spec: YieldSpec = field(default_factory=YieldSpec)
+    n_fft: int = 4096
+    ramp_points_per_code: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError("die chunk must not be empty")
+        if self.n_fft <= 0:
+            raise ConfigurationError("n_fft must be positive")
+        if self.ramp_points_per_code < 16:
+            raise ConfigurationError(
+                "ramp_points_per_code must be >= 16 for a valid "
+                f"code-density histogram, got {self.ramp_points_per_code}"
+            )
+
+
+def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
+    """Measure a chunk of dies in one die-batched pass.
+
+    One :class:`~repro.core.adc_array.AdcArray` converts the whole
+    chunk — tone capture and linearity ramp — then batched FFTs and
+    batched code-density histograms produce the per-die metrics.  Each
+    die's output codes are bit-exact with :func:`measure_die` on the
+    same die, because every die draws from its own seed-derived noise
+    streams regardless of the chunking.
+    """
+    spec = task.spec
+    adc = AdcArray(task.config, spec.conversion_rate, task.samples)
+    tone = SineGenerator.coherent(
+        spec.input_frequency, spec.conversion_rate, task.n_fft, amplitude=0.995
+    )
+    spectra = SpectrumAnalyzer().analyze_batch(
+        adc.convert(tone, task.n_fft).codes, spec.conversion_rate
+    )
+    n_codes = task.config.n_codes
+    ramp = np.linspace(
+        -_RAMP_OVERDRIVE, _RAMP_OVERDRIVE, n_codes * task.ramp_points_per_code
+    )
+    # The long ramp record is converted die by die: at 16+ samples per
+    # code the (dies, samples) working set would thrash the cache,
+    # while the per-die rows are bit-exact either way (each die draws
+    # only from its own seed-derived stream).  The code-density
+    # histograms are then built in one batched bincount pass.
+    ramp_codes = np.stack(
+        [die.convert_samples(ramp).codes for die in adc.dies]
+    )
+    linearities = ramp_linearity(ramp_codes, n_codes)
+    return tuple(
+        _die_metrics(die, spec, spectrum, linearity)
+        for die, spectrum, linearity in zip(task.samples, spectra, linearities)
     )
 
 
@@ -178,10 +268,13 @@ class YieldReport:
     Attributes:
         batch: the underlying batch result (per-die outcomes, timing).
         spec: the screen the dies were measured against.
+        engine: execution engine that produced the batch ("pool" or
+            "vectorized"); per-die metrics are engine-independent.
     """
 
     batch: BatchResult
     spec: YieldSpec
+    engine: str = "pool"
 
     @property
     def dies(self) -> list[DieMetrics]:
@@ -265,13 +358,14 @@ class YieldReport:
                 f"{failure.error_type}: {failure.error}"
             )
         lines.append(
-            f"batch: {self.batch.workers} worker(s), chunk size "
-            f"{self.batch.chunk_size}, {self.batch.elapsed_s:.2f} s"
+            f"batch: {self.engine} engine, {self.batch.workers} worker(s), "
+            f"chunk size {self.batch.chunk_size}, {self.batch.elapsed_s:.2f} s"
         )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         document = self.batch.to_dict()
+        document["engine"] = self.engine
         document["spec"] = json_safe(self.spec)
         document["yield"] = {
             "n_dies": self.n_dies,
@@ -294,6 +388,60 @@ def default_sampler(config: AdcConfig) -> MonteCarloSampler:
     )
 
 
+def _chunk_dies(
+    dies: list[ProcessSample], die_chunk: int
+) -> list[tuple[ProcessSample, ...]]:
+    """Consecutive die chunks for the vectorized engine."""
+    return [
+        tuple(dies[low : low + die_chunk])
+        for low in range(0, len(dies), die_chunk)
+    ]
+
+
+def _flatten_chunk_batch(
+    batch: BatchResult, chunks: list[tuple[ProcessSample, ...]]
+) -> BatchResult:
+    """Per-die outcomes from a per-chunk batch result.
+
+    Keeps :class:`YieldReport` engine-agnostic: a crashed chunk marks
+    each of its dies failed with the chunk's error, a successful chunk
+    contributes one outcome per die (chunk wall time amortized evenly).
+    """
+    outcomes: list[TaskOutcome] = []
+    for chunk_outcome, chunk in zip(batch.outcomes, chunks):
+        elapsed = chunk_outcome.elapsed_s / len(chunk)
+        for position, die in enumerate(chunk):
+            if chunk_outcome.ok:
+                outcomes.append(
+                    TaskOutcome(
+                        index=die.index,
+                        value=chunk_outcome.value[position],
+                        seed=die.seed,
+                        elapsed_s=elapsed,
+                    )
+                )
+            else:
+                outcomes.append(
+                    TaskOutcome(
+                        index=die.index,
+                        seed=die.seed,
+                        error=chunk_outcome.error,
+                        error_type=chunk_outcome.error_type,
+                        traceback=chunk_outcome.traceback,
+                        exception=chunk_outcome.exception,
+                        elapsed_s=elapsed,
+                    )
+                )
+    outcomes.sort(key=lambda outcome: outcome.index)
+    return BatchResult(
+        outcomes=tuple(outcomes),
+        workers=batch.workers,
+        chunk_size=batch.chunk_size,
+        elapsed_s=batch.elapsed_s,
+        root_seed=batch.root_seed,
+    )
+
+
 def run_yield_analysis(
     n_dies: int = 24,
     seed: int = 2026,
@@ -303,6 +451,8 @@ def run_yield_analysis(
     n_fft: int = 4096,
     ramp_points_per_code: int = 16,
     seed_strategy: str = "stream",
+    engine: str = "pool",
+    die_chunk: int | None = None,
     workers: int | None = 1,
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
@@ -314,7 +464,7 @@ def run_yield_analysis(
         n_dies: number of die realizations.
         seed: master seed for the PVT/mismatch draws; a given
             ``(seed, n_dies)`` pair reproduces the identical die set
-            regardless of ``workers`` and ``chunk_size``.
+            regardless of ``engine``, ``workers`` and any chunk sizes.
         config: converter configuration (paper default when omitted).
         spec: screening spec and measurement conditions.
         sampler: die sampler (industrial-range default when omitted).
@@ -325,9 +475,18 @@ def run_yield_analysis(
             ``"spawn"`` derives each die from its own
             ``SeedSequence.spawn`` child, so die *i* is identical no
             matter how large the batch is (sharding-stable).
-        workers: worker processes (1 = serial, None = all CPUs).
-        chunk_size: dispatch chunk size (None = auto).
-        progress: per-die progress callback.
+        engine: ``"pool"`` measures one die per task;
+            ``"vectorized"`` measures die chunks as single
+            :class:`~repro.core.adc_array.AdcArray` batches.  Per-die
+            output codes are bit-exact across engines.
+        die_chunk: dies per vectorized batch (vectorized engine only;
+            None splits evenly across the workers, bounded by a
+            cache-friendly default).
+        workers: worker processes (1 = serial, None = all CPUs); with
+            the vectorized engine the pool fans out die chunks.
+        chunk_size: pool dispatch chunk size (None = auto).
+        progress: progress callback (per die for the pool engine, per
+            die chunk for the vectorized engine).
         mp_context: multiprocessing start method override.
     """
     config = config or AdcConfig.paper_default()
@@ -341,20 +500,53 @@ def run_yield_analysis(
         raise ConfigurationError(
             f"seed_strategy must be 'stream' or 'spawn', got '{seed_strategy}'"
         )
-    tasks = [
-        DieTask(
-            sample=die,
-            config=config,
-            spec=spec,
-            n_fft=n_fft,
-            ramp_points_per_code=ramp_points_per_code,
+    if die_chunk is not None and die_chunk < 1:
+        raise ConfigurationError(
+            f"die_chunk must be >= 1 or None, got {die_chunk}"
         )
-        for die in dies
-    ]
+    if die_chunk is not None and engine != "vectorized":
+        raise ConfigurationError(
+            "die_chunk applies to the vectorized engine only; "
+            f"got die_chunk={die_chunk} with engine='{engine}'"
+        )
     runner = BatchRunner(
         workers=workers,
         chunk_size=chunk_size,
         progress=progress,
         mp_context=mp_context,
     )
-    return YieldReport(batch=runner.run(measure_die, tasks), spec=spec)
+    if engine == "pool":
+        tasks = [
+            DieTask(
+                sample=die,
+                config=config,
+                spec=spec,
+                n_fft=n_fft,
+                ramp_points_per_code=ramp_points_per_code,
+            )
+            for die in dies
+        ]
+        batch = runner.run(measure_die, tasks)
+    elif engine == "vectorized":
+        if die_chunk is None:
+            per_worker = -(-n_dies // runner.resolve_workers(n_dies))
+            die_chunk = max(1, min(per_worker, _DEFAULT_DIE_CHUNK))
+        chunks = _chunk_dies(dies, die_chunk)
+        tasks = [
+            DieChunkTask(
+                samples=chunk,
+                config=config,
+                spec=spec,
+                n_fft=n_fft,
+                ramp_points_per_code=ramp_points_per_code,
+            )
+            for chunk in chunks
+        ]
+        batch = _flatten_chunk_batch(
+            runner.run(measure_die_chunk, tasks), chunks
+        )
+    else:
+        raise ConfigurationError(
+            f"engine must be 'pool' or 'vectorized', got '{engine}'"
+        )
+    return YieldReport(batch=batch, spec=spec, engine=engine)

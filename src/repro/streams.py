@@ -1,0 +1,234 @@
+"""Per-die random streams for die-batched simulation.
+
+The die-batched engine (:class:`repro.core.adc_array.AdcArray`) promises
+bit-exactness with the per-die :class:`repro.core.adc.PipelineAdc` path:
+die *d* of a batch must consume the identical random numbers, in the
+identical order, as the same die simulated alone.  Two pieces make that
+hold:
+
+* :func:`noise_generator` — the single definition of how a die's
+  conversion-noise generator is derived from its die seed.  Both the
+  per-die and the batched paths call it, so "matched seeds" means
+  matched noise streams.  Derivation uses ``SeedSequence.spawn``
+  children, the same partition-invariant convention as
+  :mod:`repro.runtime.seeding` uses for batch task seeds.
+* :class:`DieStreams` — a bundle of one generator per die that exposes
+  the small slice of the ``numpy.random.Generator`` API the conversion
+  chain draws from.  Every draw of a ``(dies, samples)`` block is made
+  row by row from the owning die's generator, so the numbers are the
+  ones the per-die path would have drawn.
+
+The helpers :func:`normal_where` / :func:`random_where` are the shared
+entry points for *sparse* draws (values only at masked positions, in
+flat index order); they dispatch between a plain generator and a
+:class:`DieStreams` so device models can stay agnostic of which path is
+running them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Spawn-key index of the noise stream consumed by ``convert`` (signal
+#: acquisition through the front end).
+CONVERT_NOISE_STREAM = 0
+#: Spawn-key index of the noise stream consumed by ``convert_samples``
+#: (pre-acquired held voltages).
+SAMPLES_NOISE_STREAM = 1
+#: Number of reserved per-die noise streams.
+_N_NOISE_STREAMS = 2
+
+
+def noise_generator(die_seed: int, stream: int) -> np.random.Generator:
+    """The per-die noise generator for one conversion entry point.
+
+    Child ``stream`` of ``SeedSequence(die_seed)``; children are keyed
+    by their spawn index, so the generator for one stream never depends
+    on how many other streams exist.  Repeated calls with the same
+    arguments return generators in the identical state — a conversion
+    replays from the die seed alone.
+    """
+    if not 0 <= stream < _N_NOISE_STREAMS:
+        raise ConfigurationError(
+            f"noise stream must be in [0, {_N_NOISE_STREAMS}), got {stream}"
+        )
+    children = np.random.SeedSequence(die_seed).spawn(_N_NOISE_STREAMS)
+    return np.random.default_rng(children[stream])
+
+
+def any_true(condition) -> bool:
+    """``np.any`` that stays cheap for scalar comparisons.
+
+    Validation predicates in the device models run on plain floats in
+    the per-die path and on (dies, 1) columns in the stacked path; the
+    scalar case is on every die-construction hot path, so it short-
+    circuits before touching NumPy.
+    """
+    if condition is True:
+        return True
+    if condition is False:
+        return False
+    return bool(np.any(condition))
+
+
+def shared_value(values: Iterable, name: str):
+    """The common value of a parameter that must agree across dies.
+
+    Stacking helpers use this for everything that is configuration
+    rather than a per-die draw (capacitor sizes, timing, impairment
+    flags): dies of one batch share a configuration by construction,
+    and a mismatch means the caller stacked incompatible objects.
+    """
+    iterator = iter(values)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ConfigurationError(f"cannot stack zero values for '{name}'") from None
+    for value in iterator:
+        if value != first:
+            raise ConfigurationError(
+                f"cannot stack dies with differing '{name}': "
+                f"{value!r} != {first!r}"
+            )
+    return first
+
+
+class DieStreams:
+    """One random stream per die of a batch.
+
+    Draw methods return ``(n_dies, n_samples)`` blocks whose row *d*
+    comes from die *d*'s own generator — the exact numbers the per-die
+    simulation path would draw at the same point of its sequence.
+
+    Args:
+        generators: per-die generators, in die order.
+    """
+
+    def __init__(self, generators: Sequence[np.random.Generator]):
+        self.generators = list(generators)
+        if not self.generators:
+            raise ConfigurationError("DieStreams needs at least one die")
+
+    @classmethod
+    def for_noise(cls, die_seeds: Iterable[int], stream: int) -> "DieStreams":
+        """Streams for one conversion entry point of a die batch."""
+        return cls([noise_generator(seed, stream) for seed in die_seeds])
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.generators)
+
+    def generator(self, die: int) -> np.random.Generator:
+        """Die *d*'s own generator (per-die code paths draw directly)."""
+        return self.generators[die]
+
+    # --- draw helpers ----------------------------------------------------
+
+    def _row_count(self, size) -> int:
+        if isinstance(size, tuple):
+            if len(size) != 2 or size[0] != self.n_dies:
+                raise ConfigurationError(
+                    f"batched draw shape must be ({self.n_dies}, n), got {size}"
+                )
+            return int(size[1])
+        return int(size)
+
+    def _per_die_scale(self, scale, die: int) -> float:
+        arr = np.asarray(scale, dtype=float)
+        if arr.ndim == 0:
+            return float(arr)
+        flat = arr.reshape(-1)
+        if flat.size != self.n_dies:
+            raise ConfigurationError(
+                f"per-die scale must have one entry per die "
+                f"({self.n_dies}), got shape {arr.shape}"
+            )
+        return float(flat[die])
+
+    def normal(self, loc: float = 0.0, scale=1.0, size=None) -> np.ndarray:
+        """Gaussian block (n_dies, n); ``scale`` may be per-die."""
+        count = self._row_count(size)
+        out = np.empty((self.n_dies, count))
+        for die, generator in enumerate(self.generators):
+            out[die] = generator.normal(
+                loc, self._per_die_scale(scale, die), size=count
+            )
+        return out
+
+    def random(self, size=None) -> np.ndarray:
+        """Uniform [0, 1) block of shape (n_dies, n)."""
+        count = self._row_count(size)
+        out = np.empty((self.n_dies, count))
+        for die, generator in enumerate(self.generators):
+            out[die] = generator.random(size=count)
+        return out
+
+    def normal_where(self, mask: np.ndarray, scale: float) -> np.ndarray:
+        """Gaussians at the True positions of ``mask``, zeros elsewhere.
+
+        Row *d* draws exactly ``mask[d].sum()`` values from die *d*'s
+        generator, in flat index order — the same consumption pattern
+        as the per-die path running :func:`normal_where` on one row.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2 or mask.shape[0] != self.n_dies:
+            raise ConfigurationError(
+                f"mask must be ({self.n_dies}, n), got {mask.shape}"
+            )
+        out = np.zeros(mask.shape)
+        for die, generator in enumerate(self.generators):
+            index = np.flatnonzero(mask[die])
+            if index.size:
+                out[die, index] = generator.normal(0.0, scale, size=index.size)
+        return out
+
+    def random_where(self, mask: np.ndarray) -> np.ndarray:
+        """Uniforms at the True positions of ``mask``, zeros elsewhere."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2 or mask.shape[0] != self.n_dies:
+            raise ConfigurationError(
+                f"mask must be ({self.n_dies}, n), got {mask.shape}"
+            )
+        out = np.zeros(mask.shape)
+        for die, generator in enumerate(self.generators):
+            index = np.flatnonzero(mask[die])
+            if index.size:
+                out[die, index] = generator.random(size=index.size)
+        return out
+
+
+def normal_where(rng, mask: np.ndarray, scale: float) -> np.ndarray:
+    """Gaussians at masked positions from either kind of stream.
+
+    Dispatches to :meth:`DieStreams.normal_where` for batched runs; a
+    plain generator draws ``mask.sum()`` values in flat index order.
+    Drawing only the needed values keeps the stream consumption
+    deterministic (it depends on the mask, which is itself a
+    deterministic function of the inputs) while skipping the — usually
+    overwhelming — majority of positions whose outcome the draw cannot
+    change.
+    """
+    if isinstance(rng, DieStreams):
+        return rng.normal_where(mask, scale)
+    mask = np.asarray(mask, dtype=bool)
+    out = np.zeros(mask.shape)
+    index = np.flatnonzero(mask)
+    if index.size:
+        out.reshape(-1)[index] = rng.normal(0.0, scale, size=index.size)
+    return out
+
+
+def random_where(rng, mask: np.ndarray) -> np.ndarray:
+    """Uniforms at masked positions from either kind of stream."""
+    if isinstance(rng, DieStreams):
+        return rng.random_where(mask)
+    mask = np.asarray(mask, dtype=bool)
+    out = np.zeros(mask.shape)
+    index = np.flatnonzero(mask)
+    if index.size:
+        out.reshape(-1)[index] = rng.random(size=index.size)
+    return out

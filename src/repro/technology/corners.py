@@ -12,7 +12,10 @@ bearing for the `abl-capspread` ablation.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.technology.process import Technology
@@ -140,6 +143,46 @@ class OperatingPoint:
             self.temperature_k - celsius_to_kelvin(27.0)
         )
         return self.cap_scale * temp_factor
+
+
+class OperatingPointArray:
+    """Column-stacked PVT context for a die population.
+
+    Implements the slice of the :class:`OperatingPoint` interface the
+    die-batched conversion chain consumes — per-die noise temperature
+    and capacitance scale — as (dies, 1) columns so device expressions
+    broadcast against (dies, samples) sample blocks.  The full points
+    stay reachable through :meth:`__getitem__` for anything outside the
+    hot path.
+    """
+
+    def __init__(self, points: Iterable[OperatingPoint]):
+        self.points: tuple[OperatingPoint, ...] = tuple(points)
+        if not self.points:
+            raise ConfigurationError(
+                "OperatingPointArray needs at least one die"
+            )
+        self._temperature_k = np.array(
+            [[p.temperature_k] for p in self.points]
+        )
+        self._capacitance_scale = np.array(
+            [[p.capacitance_scale()] for p in self.points]
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self.points[index]
+
+    @property
+    def temperature_k(self) -> np.ndarray:
+        """Per-die junction temperatures [K], shape (dies, 1)."""
+        return self._temperature_k
+
+    def capacitance_scale(self) -> np.ndarray:
+        """Per-die absolute-capacitance multipliers, shape (dies, 1)."""
+        return self._capacitance_scale
 
 
 def nominal_operating_point(technology: Technology | None = None) -> OperatingPoint:

@@ -10,11 +10,13 @@ consumes.  :class:`MonteCarloSampler` produces those as
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.streams import shared_value
 from repro.technology.capacitor import CapacitorMismatchModel
 from repro.technology.corners import Corner, OperatingPoint
 from repro.technology.process import Technology
@@ -38,6 +40,93 @@ class ProcessSample:
     def rng(self) -> np.random.Generator:
         """Fresh generator for this die's local-mismatch draws."""
         return np.random.default_rng(self.seed)
+
+
+@dataclass(frozen=True)
+class ProcessSampleArray:
+    """A die population as parameter arrays with a leading die axis.
+
+    The stacked counterpart of a ``list[ProcessSample]``: the PVT draws
+    (corner, temperature, supply, capacitor scale) and the per-die
+    mismatch seeds live in flat arrays so population-scale consumers —
+    :class:`repro.core.adc_array.AdcArray`, summary statistics, JSON
+    artifacts — never loop over record objects.  Indexing and iteration
+    reconstruct per-die :class:`ProcessSample` records, so the stacked
+    and listed forms are interchangeable.
+
+    Attributes:
+        technology: shared process parameter set.
+        corners: per-die corner, length D.
+        temperature_c: per-die junction temperatures [Celsius], (D,).
+        supply_scale: per-die supply multipliers, (D,).
+        cap_scale: per-die absolute-capacitance multipliers, (D,).
+        seeds: per-die local-mismatch seeds, (D,).
+        indices: per-die positions in the Monte Carlo batch, (D,).
+    """
+
+    technology: Technology
+    corners: tuple[Corner, ...]
+    temperature_c: np.ndarray
+    supply_scale: np.ndarray
+    cap_scale: np.ndarray
+    seeds: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.corners)
+        if n == 0:
+            raise ConfigurationError("die population must not be empty")
+        for name in ("temperature_c", "supply_scale", "cap_scale", "seeds", "indices"):
+            if getattr(self, name).shape != (n,):
+                raise ConfigurationError(
+                    f"{name} must have one entry per die ({n})"
+                )
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[ProcessSample]
+    ) -> "ProcessSampleArray":
+        """Stack per-die records (all sharing one technology)."""
+        if not samples:
+            raise ConfigurationError("die population must not be empty")
+        technology = shared_value(
+            (s.operating_point.technology for s in samples), "technology"
+        )
+        return cls(
+            technology=technology,
+            corners=tuple(s.operating_point.corner for s in samples),
+            temperature_c=np.array(
+                [s.operating_point.temperature_c for s in samples]
+            ),
+            supply_scale=np.array(
+                [s.operating_point.supply_scale for s in samples]
+            ),
+            cap_scale=np.array(
+                [s.operating_point.cap_scale for s in samples]
+            ),
+            seeds=np.array([s.seed for s in samples], dtype=np.int64),
+            indices=np.array([s.index for s in samples], dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    def __getitem__(self, index: int) -> ProcessSample:
+        return ProcessSample(
+            operating_point=OperatingPoint(
+                technology=self.technology,
+                corner=self.corners[index],
+                temperature_c=float(self.temperature_c[index]),
+                supply_scale=float(self.supply_scale[index]),
+                cap_scale=float(self.cap_scale[index]),
+            ),
+            seed=int(self.seeds[index]),
+            index=int(self.indices[index]),
+        )
+
+    def __iter__(self) -> Iterator[ProcessSample]:
+        for index in range(len(self)):
+            yield self[index]
 
 
 @dataclass(frozen=True)
@@ -103,6 +192,25 @@ class MonteCarloSampler:
             self._sample_one(index, np.random.default_rng(child))
             for index, child in enumerate(children)
         ]
+
+    def sample_stacked(
+        self, count: int, rng: np.random.Generator
+    ) -> ProcessSampleArray:
+        """Draw ``count`` dies as stacked parameter arrays.
+
+        Bit-compatible with :meth:`sample`: the draw order — and hence
+        every die realization — is identical; only the container shape
+        differs (a leading die axis instead of one record per die).
+        """
+        return ProcessSampleArray.from_samples(self.sample(count, rng))
+
+    def sample_spawned_stacked(
+        self, count: int, root_seed: int
+    ) -> ProcessSampleArray:
+        """Stacked form of :meth:`sample_spawned` (partition-invariant)."""
+        return ProcessSampleArray.from_samples(
+            self.sample_spawned(count, root_seed)
+        )
 
     def _sample_one(self, index: int, rng: np.random.Generator) -> ProcessSample:
         """One die from ``rng``; draw order is part of the replay contract."""

@@ -1,0 +1,398 @@
+"""Tests for the die-batched engine stack.
+
+The load-bearing contract: die *d* of any batch is bit-exact with the
+same die simulated alone, regardless of die chunking, worker count or
+execution engine.  Everything else (stacked draws, batched evaluation,
+input validation) hangs off that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adc import PipelineAdc
+from repro.core.adc_array import AdcArray
+from repro.core.correction import DigitalCorrection
+from repro.errors import ConfigurationError
+from repro.runtime.montecarlo import default_sampler, run_yield_analysis
+from repro.signal.generators import SineGenerator
+from repro.signal.linearity import ramp_linearity
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.streams import (
+    CONVERT_NOISE_STREAM,
+    SAMPLES_NOISE_STREAM,
+    DieStreams,
+    noise_generator,
+)
+from repro.technology.corners import OperatingPointArray
+from repro.technology.montecarlo import MonteCarloSampler, ProcessSampleArray
+
+
+@pytest.fixture(scope="module")
+def die_population(paper_config):
+    return default_sampler(paper_config).sample(3, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def adc_array(paper_config, die_population):
+    return AdcArray(paper_config, 110e6, die_population)
+
+
+@pytest.fixture(scope="module")
+def solo_adcs(paper_config, die_population):
+    return [
+        PipelineAdc(
+            paper_config,
+            110e6,
+            operating_point=die.operating_point,
+            seed=die.seed,
+        )
+        for die in die_population
+    ]
+
+
+class TestStreams:
+    def test_noise_generator_replays(self):
+        a = noise_generator(42, CONVERT_NOISE_STREAM).normal(size=8)
+        b = noise_generator(42, CONVERT_NOISE_STREAM).normal(size=8)
+        assert np.array_equal(a, b)
+
+    def test_streams_are_separated(self):
+        convert = noise_generator(42, CONVERT_NOISE_STREAM).normal(size=8)
+        samples = noise_generator(42, SAMPLES_NOISE_STREAM).normal(size=8)
+        assert not np.array_equal(convert, samples)
+
+    def test_die_streams_match_per_die_generators(self):
+        seeds = [3, 5, 9]
+        streams = DieStreams.for_noise(seeds, CONVERT_NOISE_STREAM)
+        block = streams.normal(0.0, 2.0, size=16)
+        for die, seed in enumerate(seeds):
+            solo = noise_generator(seed, CONVERT_NOISE_STREAM)
+            assert np.array_equal(block[die], solo.normal(0.0, 2.0, size=16))
+
+    def test_normal_where_draws_only_masked_positions(self):
+        streams = DieStreams.for_noise([1, 2], CONVERT_NOISE_STREAM)
+        mask = np.array([[True, False, True], [False, False, False]])
+        block = streams.normal_where(mask, 1.0)
+        assert block[1].tolist() == [0.0, 0.0, 0.0]
+        assert block[0][1] == 0.0 and block[0][0] != 0.0
+
+    def test_shape_validation(self):
+        streams = DieStreams.for_noise([1, 2], CONVERT_NOISE_STREAM)
+        with pytest.raises(ConfigurationError):
+            streams.normal(size=(3, 4))
+        with pytest.raises(ConfigurationError):
+            streams.random_where(np.zeros((3, 4), dtype=bool))
+
+
+class TestStackedConstruction:
+    def test_die_count_and_shapes(self, adc_array, paper_config):
+        assert adc_array.n_dies == 3
+        assert adc_array.ratio_errors.shape == (3, paper_config.n_stages)
+        assert adc_array.comparator_offsets.shape == (
+            3,
+            paper_config.n_stages,
+            2,
+        )
+        assert adc_array.stage_currents.shape == (3, paper_config.n_stages)
+
+    def test_stacked_parameters_match_per_die(self, adc_array, solo_adcs):
+        for die, solo in enumerate(solo_adcs):
+            for i, stage in enumerate(solo.stages):
+                assert (
+                    adc_array.stages[i].mdac.ratio_error[die, 0]
+                    == stage.mdac.ratio_error
+                )
+                assert (
+                    adc_array.stages[i].subadc.offsets[0][die, 0]
+                    == stage.subadc.offsets[0]
+                )
+
+    def test_accepts_stacked_samples(self, paper_config, die_population):
+        stacked = ProcessSampleArray.from_samples(die_population)
+        array = AdcArray(paper_config, 110e6, stacked)
+        assert array.seeds == [die.seed for die in die_population]
+
+    def test_rejects_empty_population(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            AdcArray(paper_config, 110e6, [])
+
+    def test_operating_point_array(self, die_population):
+        points = OperatingPointArray(
+            die.operating_point for die in die_population
+        )
+        assert len(points) == 3
+        assert points.temperature_k.shape == (3, 1)
+        assert points.capacitance_scale().shape == (3, 1)
+        assert points[1] == die_population[1].operating_point
+
+
+class TestBitExactness:
+    """ISSUE acceptance: the batched engine reproduces the per-die path."""
+
+    def test_convert_matches_per_die(self, adc_array, solo_adcs):
+        tone = SineGenerator.coherent(10e6, 110e6, 256, amplitude=0.995)
+        batch = adc_array.convert(tone, 256)
+        assert batch.codes.shape == (3, 256)
+        for die, solo in enumerate(solo_adcs):
+            result = solo.convert(tone, 256)
+            assert np.array_equal(batch.codes[die], result.codes)
+            assert np.array_equal(batch.stage_codes[die], result.stage_codes)
+            assert np.array_equal(
+                batch.sample_times[die], result.sample_times
+            )
+
+    def test_convert_samples_matches_per_die(self, adc_array, solo_adcs):
+        ramp = np.linspace(-1.02, 1.02, 4096)
+        batch = adc_array.convert_samples(ramp)
+        for die, solo in enumerate(solo_adcs):
+            assert np.array_equal(
+                batch.codes[die], solo.convert_samples(ramp).codes
+            )
+
+    def test_batch_size_invariance(self, paper_config, die_population):
+        """A die's codes do not depend on which batch it sits in."""
+        tone = SineGenerator.coherent(10e6, 110e6, 128, amplitude=0.9)
+        full = AdcArray(paper_config, 110e6, die_population).convert(tone, 128)
+        solo = AdcArray(paper_config, 110e6, die_population[1:2]).convert(
+            tone, 128
+        )
+        assert np.array_equal(full.codes[1], solo.codes[0])
+
+    def test_ideal_config_paths(self, ideal_config):
+        """All impairment switches off exercise the no-noise branches."""
+        from repro.technology.corners import OperatingPoint
+        from repro.technology.montecarlo import ProcessSample
+
+        samples = [
+            ProcessSample(
+                operating_point=OperatingPoint(
+                    technology=ideal_config.technology
+                ),
+                seed=seed,
+                index=index,
+            )
+            for index, seed in enumerate([0, 4])
+        ]
+        array = AdcArray(ideal_config, 110e6, samples)
+        tone = SineGenerator.coherent(10e6, 110e6, 128, amplitude=0.9)
+        batch = array.convert(tone, 128)
+        for die, sample in enumerate(samples):
+            solo = PipelineAdc(
+                ideal_config,
+                110e6,
+                operating_point=sample.operating_point,
+                seed=sample.seed,
+            )
+            assert np.array_equal(
+                batch.codes[die], solo.convert(tone, 128).codes
+            )
+
+    def test_die_view(self, adc_array):
+        tone = SineGenerator.coherent(10e6, 110e6, 128, amplitude=0.9)
+        batch = adc_array.convert(tone, 128)
+        view = batch.die(1)
+        assert np.array_equal(view.codes, batch.codes[1])
+        assert view.resolution == batch.resolution
+
+
+class TestConvertSamplesValidation:
+    def test_rejects_empty(self, adc_array, paper_adc):
+        with pytest.raises(ConfigurationError):
+            adc_array.convert_samples(np.array([]))
+        with pytest.raises(ConfigurationError):
+            paper_adc.convert_samples(np.array([]))
+
+    def test_rejects_bad_rank(self, adc_array):
+        with pytest.raises(ConfigurationError):
+            adc_array.convert_samples(np.zeros((2, 3, 4)))
+
+    def test_rejects_wrong_die_count(self, adc_array):
+        with pytest.raises(ConfigurationError):
+            adc_array.convert_samples(np.zeros((5, 64)))
+
+    def test_rejects_non_finite(self, adc_array, paper_adc):
+        bad = np.array([0.0, np.nan, 0.5])
+        with pytest.raises(ConfigurationError):
+            adc_array.convert_samples(bad)
+        with pytest.raises(ConfigurationError):
+            paper_adc.convert_samples(bad)
+
+    def test_rejects_nonpositive_count(self, adc_array):
+        from repro.signal.generators import DcGenerator
+
+        with pytest.raises(ConfigurationError):
+            adc_array.convert(DcGenerator(0.0), 0)
+
+    def test_per_die_records_accepted(self, adc_array, solo_adcs):
+        block = np.vstack(
+            [np.linspace(-0.5, 0.5, 64) + 0.01 * d for d in range(3)]
+        )
+        batch = adc_array.convert_samples(block)
+        assert np.array_equal(
+            batch.codes[2], solo_adcs[2].convert_samples(block[2]).codes
+        )
+
+
+class TestStackedSampler:
+    def test_sample_stacked_matches_sample(self, technology):
+        sampler = MonteCarloSampler(technology=technology)
+        listed = sampler.sample(5, np.random.default_rng(3))
+        stacked = sampler.sample_stacked(5, np.random.default_rng(3))
+        assert len(stacked) == 5
+        assert list(stacked) == listed
+
+    def test_sample_spawned_stacked_partition_invariant(self, technology):
+        sampler = MonteCarloSampler(technology=technology)
+        assert (
+            list(sampler.sample_spawned_stacked(6, 17))[:3]
+            == sampler.sample_spawned(3, 17)
+        )
+
+    def test_round_trip(self, technology):
+        sampler = MonteCarloSampler(technology=technology)
+        listed = sampler.sample(4, np.random.default_rng(9))
+        stacked = ProcessSampleArray.from_samples(listed)
+        assert stacked[2] == listed[2]
+        assert stacked.seeds.shape == (4,)
+
+
+class TestBatchedEvaluation:
+    def test_analyze_batch_matches_analyze(self, nominal_capture):
+        codes = np.vstack([nominal_capture.codes, nominal_capture.codes[::-1]])
+        analyzer = SpectrumAnalyzer()
+        batched = analyzer.analyze_batch(codes, 110e6)
+        for row, metrics in zip(codes, batched):
+            solo = analyzer.analyze(row, 110e6)
+            assert metrics.sndr_db == pytest.approx(solo.sndr_db, rel=1e-9)
+            assert metrics.enob_bits == pytest.approx(
+                solo.enob_bits, rel=1e-9
+            )
+            assert metrics.fundamental_bin == solo.fundamental_bin
+
+    def test_analyze_batch_rejects_1d(self, nominal_capture):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            SpectrumAnalyzer().analyze_batch(nominal_capture.codes, 110e6)
+
+    def test_ramp_linearity_die_axis(self, rng):
+        n_codes = 16
+        codes = rng.integers(0, n_codes, size=(3, 16 * n_codes + 40))
+        batched = ramp_linearity(codes, n_codes)
+        assert len(batched) == 3
+        for row, result in zip(codes, batched):
+            solo = ramp_linearity(row, n_codes)
+            assert np.array_equal(result.dnl, solo.dnl)
+            assert np.array_equal(result.inl, solo.inl)
+            assert result.missing_codes == solo.missing_codes
+
+    def test_ramp_linearity_rejects_out_of_range_codes(self, rng):
+        from repro.errors import AnalysisError
+
+        n_codes = 16
+        codes = rng.integers(0, n_codes, size=(2, 16 * n_codes + 8))
+        codes[0, 0] = n_codes  # would bleed into die 1's histogram
+        with pytest.raises(AnalysisError):
+            ramp_linearity(codes, n_codes)
+
+    def test_correction_batch_axis(self):
+        correction = DigitalCorrection(n_stages=4, flash_bits=2)
+        rng = np.random.default_rng(0)
+        stage_codes = rng.integers(-1, 2, size=(3, 20, 4))
+        flash = rng.integers(0, 4, size=(3, 20))
+        aligned_codes, aligned_flash = correction.align(stage_codes, flash)
+        words = correction.combine(aligned_codes, aligned_flash)
+        for die in range(3):
+            solo_codes, solo_flash = correction.align(
+                stage_codes[die], flash[die]
+            )
+            assert np.array_equal(
+                words[die], correction.combine(solo_codes, solo_flash)
+            )
+
+
+class TestVectorizedEngine:
+    """ISSUE acceptance: --engine vectorized == --engine pool."""
+
+    KWARGS = dict(n_dies=3, seed=77, n_fft=1024)
+
+    def test_matches_pool_engine(self, paper_config):
+        pool = run_yield_analysis(config=paper_config, **self.KWARGS)
+        vec = run_yield_analysis(
+            config=paper_config, engine="vectorized", **self.KWARGS
+        )
+        assert vec.engine == "vectorized"
+        assert pool.yield_fraction == vec.yield_fraction
+        for a, b in zip(pool.dies, vec.dies):
+            assert (a.index, a.seed, a.passed) == (b.index, b.seed, b.passed)
+            # Codes are bit-exact; the spectral metrics pass through a
+            # batched FFT, so association order may differ by ulps.
+            assert b.sndr_db == pytest.approx(a.sndr_db, rel=1e-9)
+            assert b.enob_bits == pytest.approx(a.enob_bits, rel=1e-9)
+            assert b.dnl_peak_lsb == a.dnl_peak_lsb
+
+    def test_die_chunk_invariance(self, paper_config):
+        reports = [
+            run_yield_analysis(
+                config=paper_config,
+                engine="vectorized",
+                die_chunk=chunk,
+                **self.KWARGS,
+            )
+            for chunk in (1, 2, None)
+        ]
+        first = reports[0]
+        for report in reports[1:]:
+            for a, b in zip(first.dies, report.dies):
+                assert b.dnl_peak_lsb == a.dnl_peak_lsb
+                assert b.sndr_db == pytest.approx(a.sndr_db, rel=1e-9)
+                assert b.passed == a.passed
+
+    def test_worker_invariance(self, paper_config):
+        serial = run_yield_analysis(
+            config=paper_config, engine="vectorized", die_chunk=1, **self.KWARGS
+        )
+        pooled = run_yield_analysis(
+            config=paper_config,
+            engine="vectorized",
+            die_chunk=1,
+            workers=2,
+            **self.KWARGS,
+        )
+        assert [d.passed for d in serial.dies] == [
+            d.passed for d in pooled.dies
+        ]
+        for a, b in zip(serial.dies, pooled.dies):
+            assert b.sndr_db == pytest.approx(a.sndr_db, rel=1e-12)
+
+    def test_unknown_engine_rejected(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            run_yield_analysis(
+                config=paper_config, engine="turbo", **self.KWARGS
+            )
+
+    def test_bad_die_chunk_rejected(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            run_yield_analysis(
+                config=paper_config,
+                engine="vectorized",
+                die_chunk=0,
+                **self.KWARGS,
+            )
+
+    def test_die_chunk_with_pool_engine_rejected(self, paper_config):
+        """The flag must not be silently ignored on the default engine."""
+        with pytest.raises(ConfigurationError):
+            run_yield_analysis(
+                config=paper_config, die_chunk=4, **self.KWARGS
+            )
+
+    def test_report_document_carries_engine(self, paper_config):
+        import json
+
+        report = run_yield_analysis(
+            config=paper_config, engine="vectorized", **self.KWARGS
+        )
+        document = json.loads(report.to_json())
+        assert document["engine"] == "vectorized"
+        assert document["yield"]["n_dies"] == 3

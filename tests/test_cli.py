@@ -72,3 +72,40 @@ class TestMcCli:
         assert document["schema"] == "repro.batch-result/v1"
         assert document["n_tasks"] == 2
         assert document["yield"]["n_dies"] == 2
+
+    def test_mc_engine_flag_parses(self):
+        args = build_mc_parser().parse_args(
+            ["--engine", "vectorized", "--die-chunk", "4"]
+        )
+        assert args.engine == "vectorized"
+        assert args.die_chunk == 4
+        assert build_mc_parser().parse_args([]).engine == "pool"
+
+    def test_mc_vectorized_engine_matches_pool(self, capsys):
+        """ISSUE acceptance: the engines render the same yield table."""
+
+        def run(engine):
+            code = main(
+                [
+                    "mc",
+                    "--dies",
+                    "2",
+                    "--fft-points",
+                    "1024",
+                    "--engine",
+                    engine,
+                ]
+            )
+            assert code == 0
+            return capsys.readouterr().out
+
+        pool_table = run("pool")
+        vectorized_table = run("vectorized")
+        # Same per-die rows and verdicts; only the batch footer
+        # (engine name, wall time) differs.
+        table = lambda text: [  # noqa: E731
+            line
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("batch:")
+        ]
+        assert table(pool_table) == table(vectorized_table)
