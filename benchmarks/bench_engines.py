@@ -10,6 +10,11 @@ execution-engine configuration:
 - ``yield-screen`` — the full ``repro mc`` workload (tone + 16
   samples/code linearity ramp).  The long ramp is per-sample bound, so
   engine differences are smaller; the pool supplies the parallel axis.
+- ``calibrated-yield`` — the ``repro mc --calibrate`` workload: every
+  die is foreground gain-calibrated before screening.  The vectorized
+  engine captures each chunk's calibration ramp in one die-batched
+  pass (``GainCalibrationArray``), so the per-die calibration Python
+  dispatch disappears on top of the yield-screen batching.
 
 Engine configurations per workload:
 
@@ -46,7 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Schema tag for the emitted artifact.
-BENCH_ENGINES_SCHEMA = "repro.bench-engines/v2"
+BENCH_ENGINES_SCHEMA = "repro.bench-engines/v3"
 
 #: Dies per vectorized chunk for the dynamic screen (cache-sized).
 _DYNAMIC_DIE_CHUNK = 8
@@ -183,9 +188,11 @@ def run_engine_comparison(
     dies: int = 32,
     n_fft: int = 4096,
     ramp_points_per_code: int = 16,
+    calibration_samples_per_code: int = 8,
     seed: int = 2026,
     workers: int | None = None,
     include_yield_screen: bool = True,
+    include_calibrated_yield: bool = True,
 ) -> dict:
     """Time every engine configuration on the seeded workloads."""
     import numpy as np
@@ -211,25 +218,26 @@ def run_engine_comparison(
             workers,
         ),
     }
+    def run_yield(config, calibrate=False):
+        report = run_yield_analysis(
+            n_dies=dies,
+            seed=seed,
+            n_fft=n_fft,
+            ramp_points_per_code=ramp_points_per_code,
+            calibrate=calibrate,
+            calibration_samples_per_code=calibration_samples_per_code,
+            **config,
+        )
+        if report.batch.failures:
+            raise RuntimeError(
+                f"die failures: {report.batch.failures[0].error}"
+            )
+        return sorted(
+            (d.index, d.sndr_db, d.enob_bits, d.dnl_peak_lsb, d.inl_peak_lsb)
+            for d in report.dies
+        )
+
     if include_yield_screen:
-
-        def run_yield(config):
-            report = run_yield_analysis(
-                n_dies=dies,
-                seed=seed,
-                n_fft=n_fft,
-                ramp_points_per_code=ramp_points_per_code,
-                **config,
-            )
-            if report.batch.failures:
-                raise RuntimeError(
-                    f"die failures: {report.batch.failures[0].error}"
-                )
-            return sorted(
-                (d.index, d.sndr_db, d.enob_bits, d.dnl_peak_lsb)
-                for d in report.dies
-            )
-
         workloads["yield-screen"] = {
             "params": {
                 "dies": dies,
@@ -238,6 +246,19 @@ def run_engine_comparison(
                 "seed": seed,
             },
             **_compare_configs(run_yield, workers),
+        }
+    if include_calibrated_yield:
+        workloads["calibrated-yield"] = {
+            "params": {
+                "dies": dies,
+                "n_fft": n_fft,
+                "ramp_points_per_code": ramp_points_per_code,
+                "calibration_samples_per_code": calibration_samples_per_code,
+                "seed": seed,
+            },
+            **_compare_configs(
+                lambda config: run_yield(config, calibrate=True), workers
+            ),
         }
     return {
         "schema": BENCH_ENGINES_SCHEMA,
@@ -268,9 +289,15 @@ def _print_document(document: dict) -> None:
 def test_engine_comparison_smoke(tmp_path):
     """Small-workload engine comparison: consistency is the assertion."""
     document = run_engine_comparison(
-        dies=4, n_fft=1024, ramp_points_per_code=16, workers=2
+        dies=4,
+        n_fft=1024,
+        ramp_points_per_code=16,
+        calibration_samples_per_code=4,
+        workers=2,
     )
     assert document["all_consistent"], document
+    assert "calibrated-yield" in document["workloads"]
+    assert document["workloads"]["calibrated-yield"]["all_consistent"]
     artifact = tmp_path / "BENCH_engines.json"
     artifact.write_text(json.dumps(document, indent=2))
     print()
@@ -282,6 +309,12 @@ def main(argv=None) -> int:
     parser.add_argument("--dies", type=int, default=32)
     parser.add_argument("--fft-points", type=int, default=4096)
     parser.add_argument("--ramp-points", type=int, default=16)
+    parser.add_argument(
+        "--cal-samples",
+        type=int,
+        default=8,
+        help="calibration-ramp samples per code (calibrated-yield workload)",
+    )
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument(
         "--workers",
@@ -292,7 +325,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-yield-screen",
         action="store_true",
-        help="only run the dynamic-screen workload",
+        help="skip the (uncalibrated) yield-screen workload",
+    )
+    parser.add_argument(
+        "--skip-calibrated-yield",
+        action="store_true",
+        help="skip the calibrated-yield workload",
     )
     parser.add_argument(
         "--out",
@@ -305,9 +343,11 @@ def main(argv=None) -> int:
         dies=args.dies,
         n_fft=args.fft_points,
         ramp_points_per_code=args.ramp_points,
+        calibration_samples_per_code=args.cal_samples,
         seed=args.seed,
         workers=args.workers,
         include_yield_screen=not args.skip_yield_screen,
+        include_calibrated_yield=not args.skip_calibrated_yield,
     )
     args.out.write_text(json.dumps(document, indent=2))
     print(f"wrote {args.out}")

@@ -22,6 +22,7 @@ Quickstart::
 from repro.core.adc import ConversionResult, PipelineAdc
 from repro.core.adc_array import AdcArray, ArrayConversionResult
 from repro.core.behavioral import IdealAdc, ideal_transfer_codes
+from repro.core.calibration import GainCalibration, GainCalibrationArray
 from repro.core.config import AdcConfig, ScalingPlan, StageConfig, SwitchStyle
 from repro.core.floorplan import Floorplan
 from repro.core.power import PowerBreakdown, PowerModel
@@ -56,6 +57,8 @@ __all__ = [
     "Corner",
     "DcGenerator",
     "Floorplan",
+    "GainCalibration",
+    "GainCalibrationArray",
     "IdealAdc",
     "LinearityResult",
     "ModelDomainError",

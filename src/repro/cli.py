@@ -7,6 +7,7 @@ Usage::
     repro fig4 fig5 --quick
     repro all --workers 4
     repro mc --dies 16 --workers 4 --json out.json
+    repro mc --dies 32 --engine vectorized --calibrate
 
 (``python -m repro`` is equivalent to the installed ``repro`` script.)
 """
@@ -105,6 +106,27 @@ def build_mc_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help=(
+            "foreground gain-calibrate every die before screening "
+            "(extension beyond the paper): the screens then measure the "
+            "calibrated reconstruction; per-die identical across engines "
+            "(the vectorized engine calibrates whole chunks in one "
+            "batched capture)"
+        ),
+    )
+    parser.add_argument(
+        "--cal-samples",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "calibration-ramp samples per output code when --calibrate "
+            "is set (default 8)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -156,6 +178,13 @@ def build_mc_parser() -> argparse.ArgumentParser:
         help=f"maximum |DNL| spec limit (default {defaults.max_dnl_lsb})",
     )
     parser.add_argument(
+        "--spec-inl",
+        type=float,
+        default=None,
+        metavar="LSB",
+        help="maximum |INL| spec limit (default: no INL screen)",
+    )
+    parser.add_argument(
         "--fft-points",
         type=int,
         default=4096,
@@ -196,6 +225,7 @@ def run_mc(argv: Sequence[str] | None = None) -> int:
     spec = YieldSpec(
         min_enob=args.spec_enob,
         max_dnl_lsb=args.spec_dnl,
+        max_inl_lsb=args.spec_inl,
         conversion_rate=args.rate,
     )
     report = run_yield_analysis(
@@ -205,6 +235,8 @@ def run_mc(argv: Sequence[str] | None = None) -> int:
         n_fft=args.fft_points,
         seed_strategy=args.seed_strategy,
         engine=args.engine,
+        calibrate=args.calibrate,
+        calibration_samples_per_code=args.cal_samples,
         die_chunk=args.die_chunk,
         workers=args.workers,
         chunk_size=args.chunk_size,

@@ -20,7 +20,7 @@ Public entry points:
 from repro.core.adc import ConversionResult, PipelineAdc
 from repro.core.adc_array import AdcArray, ArrayConversionResult
 from repro.core.behavioral import IdealAdc, ideal_transfer_codes
-from repro.core.calibration import GainCalibration
+from repro.core.calibration import GainCalibration, GainCalibrationArray
 from repro.core.config import AdcConfig, ScalingPlan, StageConfig, SwitchStyle
 from repro.core.correction import DigitalCorrection
 from repro.core.flash import FlashBackend
@@ -40,6 +40,7 @@ __all__ = [
     "FlashBackend",
     "Floorplan",
     "GainCalibration",
+    "GainCalibrationArray",
     "IdealAdc",
     "Mdac",
     "PipelineAdc",

@@ -366,12 +366,24 @@ class PipelineAdc:
         self,
         held_values: np.ndarray,
         noise_seed: int | None = None,
+        stream: int = SAMPLES_NOISE_STREAM,
     ) -> ConversionResult:
         """Digitize pre-acquired held voltages (bypasses the front end).
 
         Static-linearity tests use this: INL/DNL are measured from slow
         ramps where the tracking error is negligible by construction, so
         feeding held values directly isolates the static transfer.
+
+        Args:
+            held_values: the held voltages, a 1-D array.
+            noise_seed: explicit raw seed for the per-run noise draws;
+                when omitted the stream is spawned from the die seed
+                (see :func:`repro.streams.noise_generator`).
+            stream: which reserved per-die noise stream to draw from
+                when ``noise_seed`` is omitted.  Calibration captures
+                pass :data:`repro.streams.CALIBRATION_NOISE_STREAM` so
+                they stay independent of measurement noise; ignored
+                when an explicit ``noise_seed`` is given.
         """
         held = np.asarray(held_values, dtype=float)
         if held.ndim != 1:
@@ -383,7 +395,7 @@ class PipelineAdc:
         if not np.all(np.isfinite(held)):
             raise ConfigurationError("held_values must be finite")
         rng = (
-            noise_generator(self.seed, SAMPLES_NOISE_STREAM)
+            noise_generator(self.seed, stream)
             if noise_seed is None
             else np.random.default_rng(noise_seed)
         )

@@ -48,6 +48,17 @@ from repro.streams import (
 from repro.technology.corners import OperatingPointArray
 from repro.technology.montecarlo import ProcessSample
 
+#: Record length above which a batched conversion processes the dies
+#: one row at a time instead of as one (dies, samples) block.  Long
+#: records make every intermediate a multi-megabyte array that falls
+#: out of cache between operations, so the per-die rows (which stay
+#: cache-resident through a whole stage) are faster; short records are
+#: dominated by Python dispatch, which batching amortizes.  The per-die
+#: noise-stream contract makes the two execution orders bit-exact, so
+#: this is purely a throughput heuristic (measured crossover ~4k
+#: samples in benchmarks/bench_engines.py workloads).
+_PER_DIE_RECORD_SAMPLES = 4096
+
 
 @dataclass(frozen=True)
 class ArrayConversionResult:
@@ -234,6 +245,7 @@ class AdcArray:
     def convert_samples(
         self,
         held_values: np.ndarray,
+        stream: int = SAMPLES_NOISE_STREAM,
     ) -> ArrayConversionResult:
         """Digitize pre-acquired held voltages on every die.
 
@@ -241,6 +253,12 @@ class AdcArray:
             held_values: a 1-D array applied identically to every die
                 (the usual shared linearity ramp), or a
                 (dies, n_samples) block with one record per die.
+            stream: which reserved per-die noise stream every die draws
+                from — the same selector as
+                :meth:`repro.core.adc.PipelineAdc.convert_samples`, so
+                a batched capture on any stream is bit-exact with the
+                per-die captures on that stream.  Calibration passes
+                :data:`repro.streams.CALIBRATION_NOISE_STREAM`.
         """
         held = np.asarray(held_values, dtype=float)
         if held.size == 0:
@@ -259,7 +277,7 @@ class AdcArray:
             )
         if not np.all(np.isfinite(held)):
             raise ConfigurationError("held_values must be finite")
-        streams = self._streams(SAMPLES_NOISE_STREAM)
+        streams = self._streams(stream)
         skip = self.correction.latency_cycles
         padded = np.concatenate(
             [np.zeros((self.n_dies, skip)), held], axis=1
@@ -276,6 +294,8 @@ class AdcArray:
         streams: DieStreams,
         skip: int,
     ) -> ArrayConversionResult:
+        if self.n_dies > 1 and held.shape[1] - skip > _PER_DIE_RECORD_SAMPLES:
+            return self._convert_held_per_die(held, times, streams, skip)
         total = held.shape[1]
         references = self._stage_references(total, streams)
         stage_codes = np.empty(
@@ -299,6 +319,35 @@ class AdcArray:
             stage_codes=aligned_codes,
             flash_codes=aligned_flash,
             sample_times=times[:, skip:],
+            timing=self.timing,
+            resolution=self.config.resolution,
+        )
+
+    def _convert_held_per_die(
+        self,
+        held: np.ndarray,
+        times: np.ndarray,
+        streams: DieStreams,
+        skip: int,
+    ) -> ArrayConversionResult:
+        """Row-at-a-time execution of a long batched conversion.
+
+        Bit-exact with the blocked path (each die draws only from its
+        own stream either way); chosen above
+        :data:`_PER_DIE_RECORD_SAMPLES` where cache residency beats
+        dispatch amortization.
+        """
+        results = [
+            die._convert_held(held[index], times[index], streams.generator(index), skip)
+            for index, die in enumerate(self.dies)
+        ]
+        return ArrayConversionResult(
+            codes=np.stack([result.codes for result in results]),
+            stage_codes=np.stack([result.stage_codes for result in results]),
+            flash_codes=np.stack([result.flash_codes for result in results]),
+            sample_times=np.stack(
+                [result.sample_times for result in results]
+            ),
             timing=self.timing,
             resolution=self.config.resolution,
         )

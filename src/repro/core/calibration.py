@@ -6,10 +6,15 @@ later-generation pipeline converters) is foreground calibration: apply a
 known stimulus, estimate each stage's *actual* reconstruction weight,
 and replace the nominal power-of-two weights in the digital output.
 
-:class:`GainCalibration` implements the classic least-squares variant:
+:class:`GainCalibration` implements the classic least-squares variant
+for one die:
 
 1. Capture a slow over-ranged ramp (the same stimulus a code-density
-   linearity test uses), keeping the raw per-stage decisions.
+   linearity test uses), keeping the raw per-stage decisions.  The
+   capture noise comes from the die's reserved calibration stream
+   (:data:`repro.streams.CALIBRATION_NOISE_STREAM`), so it neither
+   collides with nor correlates against the conversion-noise streams
+   the calibrated weights are later applied to.
 2. Solve, in the least-squares sense, for the stage weights w_i, the
    flash weight and an offset such that
    ``sum_i w_i * d_i + w_f * flash + offset`` best reproduces the known
@@ -17,6 +22,17 @@ and replace the nominal power-of-two weights in the digital output.
    error are exactly weight errors in this model, so the fit absorbs
    them; clipped samples are excluded.
 3. Reconstruct subsequent conversions with the fitted weights.
+
+:class:`GainCalibrationArray` is the die-batched form: one
+:meth:`~repro.core.adc_array.AdcArray.convert_samples` pass captures the
+calibration ramp for D dies at once, the per-die weight fits run as
+stacked least-squares solves over one shared design assembly, and the
+calibrated reconstruction applies inside the vectorized conversion path
+(``(dies, samples)`` blocks in, calibrated code blocks out).  Die *d* of
+the array calibration is numerically equivalent to
+``GainCalibration(dies[d])`` under matched die seeds — both paths
+capture through the identical per-die calibration stream and solve the
+identical design matrix.
 
 On the behavioral model this recovers most of the mismatch-induced INL
 (verified in tests/test_calibration.py).  It is marked clearly as an
@@ -26,17 +42,120 @@ reproduction numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.adc import PipelineAdc
+from repro.core.adc import ConversionResult, DifferentialSignal, PipelineAdc
+from repro.core.adc_array import AdcArray, ArrayConversionResult
+from repro.core.config import AdcConfig
 from repro.errors import CalibrationError, ConfigurationError
+from repro.streams import CALIBRATION_NOISE_STREAM
+
+
+def _validate_capture(samples_per_code: int, overdrive: float) -> None:
+    if samples_per_code < 4:
+        raise ConfigurationError("need >= 4 samples per code")
+    if not 0 < overdrive < 0.2:
+        raise ConfigurationError("overdrive must be in (0, 0.2)")
+
+
+def nominal_weights(config: AdcConfig) -> np.ndarray:
+    """The uncalibrated weight vector: stage weights, flash, offset."""
+    stage = 2.0 ** np.arange(
+        config.resolution - 2, config.flash_bits - 2, -1, dtype=float
+    )
+    base = float(
+        (1 << (config.resolution - 1)) - (1 << (config.flash_bits - 1))
+    )
+    return np.concatenate([stage, [1.0, base]])
+
+
+def _calibration_ramp(
+    config: AdcConfig, samples_per_code: int, overdrive: float
+) -> np.ndarray:
+    """The over-ranged calibration stimulus, shared by both engines."""
+    total = config.n_codes * samples_per_code
+    span = config.vref * (1.0 + overdrive)
+    return np.linspace(-span, span, total)
+
+
+def _calibration_target(config: AdcConfig, ramp: np.ndarray) -> np.ndarray:
+    """The ramp expressed in (fractional) output codes."""
+    return (ramp / config.vref + 1.0) * (config.n_codes / 2) - 0.5
+
+
+def _keep_mask(config: AdcConfig, target: np.ndarray) -> np.ndarray:
+    """Samples kept for the fit: clipped samples would bias it."""
+    margin = 4
+    return (target > margin) & (target < config.n_codes - 1 - margin)
+
+
+def _design_matrix(stage_codes, flash_codes) -> np.ndarray:
+    """The least-squares design ``[stage decisions, flash, 1]``.
+
+    The ones column is broadcast from the input shape, so the same
+    assembly serves a scalar conversion (``stage_codes`` of shape
+    ``(n_stages,)``), a 1-D record (``(samples, n_stages)``) and a
+    die-batched block (``(dies, samples, n_stages)``).
+    """
+    stage = np.asarray(stage_codes, dtype=float)
+    flash = np.asarray(flash_codes, dtype=float)
+    if stage.shape[:-1] != flash.shape:
+        raise ConfigurationError(
+            f"stage_codes leading shape {stage.shape[:-1]} must match "
+            f"flash_codes shape {flash.shape}"
+        )
+    flash_column = flash[..., None]
+    return np.concatenate(
+        [stage, flash_column, np.ones_like(flash_column)], axis=-1
+    )
+
+
+def _fit_weights(design: np.ndarray, target: np.ndarray, die: int | None):
+    """One die's least-squares solve with its rank check."""
+    solution, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        where = "" if die is None else f" on die {die}"
+        raise CalibrationError(
+            f"calibration capture is rank-deficient{where} — the ramp "
+            "did not exercise every stage decision"
+        )
+    return solution
+
+
+def _apply_weights(
+    design: np.ndarray,
+    weights: np.ndarray,
+    nominal: np.ndarray,
+    n_codes: int,
+) -> np.ndarray:
+    """Calibrated words from a design matrix, rails kept pinned.
+
+    ``weights`` is one fitted vector, or a ``(dies, n_weights)`` stack
+    contracted die-for-die against a ``(dies, samples, n_weights)``
+    design.  ``design @ nominal`` is exactly the uncalibrated RSD
+    combine before its clip (the nominal weight vector *is* that
+    algebra), so samples the uncalibrated correction pins to a rail are
+    kept at the rail instead of being re-weighted: the fitted offset
+    would otherwise fold a saturated decision pattern into an interior
+    code (e.g. an over-ranged linearity ramp piling hundreds of clipped
+    samples onto code 1), wrecking code-density histograms.
+    """
+    if weights.ndim == 2:
+        raw = (design @ weights[:, :, None])[..., 0]
+    else:
+        raw = design @ weights
+    calibrated = np.clip(np.round(raw), 0, n_codes - 1).astype(int)
+    uncalibrated = design @ nominal
+    railed = (uncalibrated <= 0.0) | (uncalibrated >= n_codes - 1)
+    pinned = np.clip(uncalibrated, 0, n_codes - 1).astype(int)
+    return np.where(railed, pinned, calibrated)
 
 
 @dataclass
 class GainCalibration:
-    """Foreground least-squares weight calibration.
+    """Foreground least-squares weight calibration of one die.
 
     Args:
         adc: the die to calibrate (weights are die-specific).
@@ -51,60 +170,40 @@ class GainCalibration:
     overdrive: float = 0.02
 
     def __post_init__(self) -> None:
-        if self.samples_per_code < 4:
-            raise ConfigurationError("need >= 4 samples per code")
-        if not 0 < self.overdrive < 0.2:
-            raise ConfigurationError("overdrive must be in (0, 0.2)")
+        _validate_capture(self.samples_per_code, self.overdrive)
         self._weights: np.ndarray | None = None
 
     # --- measurement ------------------------------------------------------
 
     def nominal_weights(self) -> np.ndarray:
         """The uncalibrated weight vector: stage weights, flash, offset."""
-        config = self.adc.config
-        stage = 2.0 ** np.arange(
-            config.resolution - 2, config.flash_bits - 2, -1, dtype=float
-        )
-        base = float(
-            (1 << (config.resolution - 1)) - (1 << (config.flash_bits - 1))
-        )
-        return np.concatenate([stage, [1.0, base]])
+        return nominal_weights(self.adc.config)
 
-    def calibrate(self, noise_seed: int = 987) -> np.ndarray:
+    def calibrate(self, noise_seed: int | None = None) -> np.ndarray:
         """Run the calibration capture and fit the weights.
+
+        Args:
+            noise_seed: explicit raw seed for the capture noise (escape
+                hatch for reproducing legacy captures).  When omitted
+                the capture draws from the die's reserved calibration
+                stream — spawned from the die seed with ``SeedSequence``
+                exactly like the conversion streams, but on its own
+                spawn key, so it never collides with or correlates
+                against measurement noise.
 
         Returns:
             The fitted weight vector ``[w_1..w_n, w_flash, offset]``.
         """
         config = self.adc.config
-        total = config.n_codes * self.samples_per_code
-        span = config.vref * (1.0 + self.overdrive)
-        ramp = np.linspace(-span, span, total)
-        result = self.adc.convert_samples(ramp, noise_seed=noise_seed)
-
-        # The input expressed in (fractional) output codes.
-        target = (ramp / config.vref + 1.0) * (config.n_codes / 2) - 0.5
-        # Exclude clipped samples: their decisions saturate and would
-        # bias the fit.
-        margin = 4
-        keep = (target > margin) & (target < config.n_codes - 1 - margin)
-        design = np.column_stack(
-            [
-                result.stage_codes.astype(float),
-                result.flash_codes.astype(float),
-                np.ones(total),
-            ]
-        )[keep]
-        solution, residuals, rank, _ = np.linalg.lstsq(
-            design, target[keep], rcond=None
+        ramp = _calibration_ramp(config, self.samples_per_code, self.overdrive)
+        result = self.adc.convert_samples(
+            ramp, noise_seed=noise_seed, stream=CALIBRATION_NOISE_STREAM
         )
-        if rank < design.shape[1]:
-            raise CalibrationError(
-                "calibration capture is rank-deficient — the ramp did not "
-                "exercise every stage decision"
-            )
-        self._weights = solution
-        return solution
+        target = _calibration_target(config, ramp)
+        keep = _keep_mask(config, target)
+        design = _design_matrix(result.stage_codes, result.flash_codes)[keep]
+        self._weights = _fit_weights(design, target[keep], die=None)
+        return self._weights
 
     @property
     def weights(self) -> np.ndarray:
@@ -125,15 +224,176 @@ class GainCalibration:
 
         Same algebra as :meth:`DigitalCorrection.combine` but with the
         fitted, generally non-integer weights; rounded to integer codes.
+        Accepts a scalar conversion (``stage_codes`` of shape
+        ``(n_stages,)``), a 1-D record, or a die-batched
+        ``(dies, samples)`` block — the output matches the
+        ``flash_codes`` shape.  Samples the uncalibrated correction
+        pins to a rail stay pinned (out-of-range detection).
         """
-        weights = self.weights
-        config = self.adc.config
-        design = np.column_stack(
-            [
-                np.asarray(stage_codes, dtype=float),
-                np.asarray(flash_codes, dtype=float),
-                np.ones(np.asarray(flash_codes).shape[0]),
-            ]
+        design = _design_matrix(stage_codes, flash_codes)
+        return _apply_weights(
+            design,
+            self.weights,
+            self.nominal_weights(),
+            self.adc.config.n_codes,
         )
-        raw = design @ weights
-        return np.clip(np.round(raw), 0, config.n_codes - 1).astype(int)
+
+    def convert(
+        self, signal: DifferentialSignal, n_samples: int
+    ) -> ConversionResult:
+        """Digitize a signal and reconstruct with the fitted weights."""
+        result = self.adc.convert(signal, n_samples)
+        return replace(
+            result,
+            codes=self.reconstruct(result.stage_codes, result.flash_codes),
+        )
+
+    def convert_samples(self, held_values: np.ndarray) -> ConversionResult:
+        """Digitize held voltages and reconstruct with fitted weights."""
+        result = self.adc.convert_samples(held_values)
+        return replace(
+            result,
+            codes=self.reconstruct(result.stage_codes, result.flash_codes),
+        )
+
+
+@dataclass
+class GainCalibrationArray:
+    """Die-batched foreground calibration of a whole population.
+
+    One :meth:`~repro.core.adc_array.AdcArray.convert_samples` pass
+    captures the calibration ramp for every die (each die drawing its
+    capture noise from its own reserved calibration stream), one shared
+    design assembly feeds stacked per-die least-squares solves (each
+    with its own rank check), and the fitted weights apply to batched
+    ``(dies, samples)`` conversions.
+
+    Die *d* is numerically equivalent to
+    ``GainCalibration(array.dies[d])`` under matched die seeds: the
+    capture rows, the design matrices and the solves are identical.
+
+    Args:
+        array: the die population to calibrate.
+        samples_per_code: ramp hits per output code for the capture.
+        overdrive: fractional overrange of the calibration ramp.
+    """
+
+    array: AdcArray
+    samples_per_code: int = 24
+    overdrive: float = 0.02
+
+    def __post_init__(self) -> None:
+        _validate_capture(self.samples_per_code, self.overdrive)
+        self._weights: np.ndarray | None = None
+
+    @property
+    def n_dies(self) -> int:
+        return self.array.n_dies
+
+    # --- measurement ------------------------------------------------------
+
+    def nominal_weights(self) -> np.ndarray:
+        """The shared uncalibrated weight vector."""
+        return nominal_weights(self.array.config)
+
+    def calibrate(self) -> np.ndarray:
+        """Capture the ramp on every die and fit the per-die weights.
+
+        Returns:
+            The fitted weights, shape ``(dies, n_stages + 2)``; row *d*
+            is ``[w_1..w_n, w_flash, offset]`` for die *d*.
+        """
+        config = self.array.config
+        ramp = _calibration_ramp(config, self.samples_per_code, self.overdrive)
+        result = self.array.convert_samples(
+            ramp, stream=CALIBRATION_NOISE_STREAM
+        )
+        target = _calibration_target(config, ramp)
+        keep = _keep_mask(config, target)
+        # Shared assembly: one (dies, kept, n_weights) design stack …
+        design = _design_matrix(result.stage_codes, result.flash_codes)[
+            :, keep, :
+        ]
+        kept_target = target[keep]
+        # … then stacked per-die solves, each rank-checked on its own.
+        weights = np.empty((self.n_dies, design.shape[-1]))
+        for die in range(self.n_dies):
+            weights[die] = _fit_weights(design[die], kept_target, die=die)
+        self._weights = weights
+        return weights
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Fitted per-die weights, shape (dies, n_stages + 2)."""
+        if self._weights is None:
+            raise CalibrationError("call calibrate() first")
+        return self._weights
+
+    def die_weights(self, die: int) -> np.ndarray:
+        """One die's fitted weight vector."""
+        return self.weights[die]
+
+    def weight_errors(self) -> np.ndarray:
+        """Fitted minus nominal weights, shape (dies, n_stages + 2)."""
+        return self.weights - self.nominal_weights()
+
+    # --- application ------------------------------------------------------
+
+    def reconstruct(
+        self, stage_codes: np.ndarray, flash_codes: np.ndarray
+    ) -> np.ndarray:
+        """Rebuild a die-batched capture with the per-die weights.
+
+        Args:
+            stage_codes: (dies, samples, n_stages) aligned decisions.
+            flash_codes: (dies, samples) aligned flash codes.
+
+        Returns:
+            Calibrated output words, shape (dies, samples) — row *d*
+            identical to the per-die reconstruction with die *d*'s
+            weights.  Rail-pinned samples stay pinned, as in
+            :meth:`GainCalibration.reconstruct`.
+        """
+        design = _design_matrix(stage_codes, flash_codes)
+        if design.ndim != 3 or design.shape[0] != self.n_dies:
+            raise ConfigurationError(
+                f"batched reconstruct needs a ({self.n_dies}, samples, "
+                f"n_stages) block, got stage_codes shape "
+                f"{np.asarray(stage_codes).shape}"
+            )
+        return _apply_weights(
+            design,
+            self.weights,
+            self.nominal_weights(),
+            self.array.config.n_codes,
+        )
+
+    def reconstruct_die(
+        self, die: int, stage_codes: np.ndarray, flash_codes: np.ndarray
+    ) -> np.ndarray:
+        """Rebuild one die's capture (any shape) with its own weights."""
+        design = _design_matrix(stage_codes, flash_codes)
+        return _apply_weights(
+            design,
+            self.die_weights(die),
+            self.nominal_weights(),
+            self.array.config.n_codes,
+        )
+
+    def convert(
+        self, signal: DifferentialSignal, n_samples: int
+    ) -> ArrayConversionResult:
+        """Digitize a signal on every die, calibrated reconstruction."""
+        result = self.array.convert(signal, n_samples)
+        return replace(
+            result,
+            codes=self.reconstruct(result.stage_codes, result.flash_codes),
+        )
+
+    def convert_samples(self, held_values: np.ndarray) -> ArrayConversionResult:
+        """Digitize held voltages on every die, calibrated reconstruction."""
+        result = self.array.convert_samples(held_values)
+        return replace(
+            result,
+            codes=self.reconstruct(result.stage_codes, result.flash_codes),
+        )

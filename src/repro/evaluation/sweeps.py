@@ -51,11 +51,17 @@ def sweep(
         continue_on_error: when True, a :class:`ReproError` at one point
             is recorded and the sweep continues — used for sweeps that
             intentionally run into a model's validity wall (e.g. pushing
-            f_CR until no settling window remains).
+            f_CR until no settling window remains).  Non-:class:`ReproError`
+            exceptions always propagate.
         runner: when given, points are dispatched through the batch
             runtime (parallel for ``workers > 1``); when None, the
-            classic lazy serial loop runs, which stops evaluating at
-            the first error if ``continue_on_error`` is False.
+            classic lazy serial loop runs.  Failure semantics are
+            identical in both dispatch modes: with ``continue_on_error``
+            True every failed point is recorded and the sweep continues;
+            with it False the sweep fails fast — the serial loop stops
+            at the failing point and the batched path stops dispatching
+            further points (abandoning in-flight work for
+            ``workers > 1``) before re-raising.
 
     Returns:
         One :class:`SweepPoint` per parameter, in order.
@@ -128,7 +134,19 @@ def _sweep_batched(
 ) -> list[SweepPoint]:
     """Sweep through the batch runtime; same point semantics as serial."""
     values = [float(parameter) for parameter in parameters]
-    batch = runner.run(_evaluate_point, [(value, evaluate) for value in values])
+    # Match the lazy serial loop's stopping point: any failure stops a
+    # fail-fast sweep, and even a record-and-continue sweep stops at a
+    # non-ReproError (a genuine bug, which always propagates).
+    stops_batch = (
+        (lambda outcome: not _is_recoverable(outcome))
+        if continue_on_error
+        else True
+    )
+    batch = runner.run(
+        _evaluate_point,
+        [(value, evaluate) for value in values],
+        stop_on_failure=stops_batch,
+    )
     points = []
     for outcome in batch.outcomes:
         value = values[outcome.index]

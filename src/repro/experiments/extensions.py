@@ -23,16 +23,24 @@ from repro.signal.linearity import ramp_linearity
 from repro.technology.process import Technology
 
 
-@register("ext-calibration")
-def run_calibration(quick: bool = False) -> ExperimentResult:
-    """Foreground calibration on a deliberately mismatched die."""
-    config = replace(
+def mismatch_dominated_config() -> AdcConfig:
+    """The foreground-calibration test regime, shared by experiments
+    and tests: ~10x the nominal metal-capacitor matching with the
+    front-end impairments switched off, so weight errors dominate
+    everything else and calibration has room to work."""
+    return replace(
         AdcConfig.paper_default(),
         technology=Technology(metal_cap_matching=2.0e-7),
         include_jitter=False,
         include_reference_noise=False,
         include_tracking=False,
     )
+
+
+@register("ext-calibration")
+def run_calibration(quick: bool = False) -> ExperimentResult:
+    """Foreground calibration on a deliberately mismatched die."""
+    config = mismatch_dominated_config()
     adc = PipelineAdc(config, conversion_rate=110e6, seed=5)
     calibration = GainCalibration(
         adc, samples_per_code=16 if quick else 24

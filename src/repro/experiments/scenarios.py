@@ -13,6 +13,12 @@ the ``repro`` CLI exactly like the figure reproductions:
 - ``scenario-ultrasound`` — pulse-echo dynamic range: a strong
   near-field echo and a -46 dBFS deep echo digitized at 40 MS/s, where
   the SC bias generator has already scaled the power down.
+- ``scenario-calibrated-yield`` — population-scale calibrated yield
+  screening on the vectorized engine: a mismatch-dominated die
+  population (the paper's uncalibrated INL numbers pushed ~10x) is
+  screened raw and again after die-batched foreground calibration
+  (:class:`~repro.core.calibration.GainCalibrationArray`), comparing
+  the INL/ENOB spreads and the yield.  Extension beyond the paper.
 
 The measurement helpers are shared with the example scripts, so the
 narrative examples and the claim-checked experiments cannot drift
@@ -28,7 +34,9 @@ import numpy as np
 from repro.core.adc import PipelineAdc
 from repro.core.config import AdcConfig
 from repro.core.power import PowerModel
+from repro.experiments.extensions import mismatch_dominated_config
 from repro.experiments.registry import ClaimCheck, ExperimentResult, register
+from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
 from repro.signal.coherent import coherent_frequency
 from repro.signal.generators import MultitoneGenerator, SineGenerator
 from repro.signal.imd import TwoToneAnalyzer
@@ -204,6 +212,103 @@ def run_if_sampling(quick: bool = False) -> ExperimentResult:
         notes=(
             "application scenario promoted from "
             "examples/communication_if_sampling.py",
+        ),
+    )
+
+
+@register("scenario-calibrated-yield")
+def run_calibrated_yield(quick: bool = False) -> ExperimentResult:
+    """Calibrated vs uncalibrated yield on a mismatch-dominated lot.
+
+    The die regime is the one ``ext-calibration`` demonstrates on a
+    single die (~10x the nominal capacitor matching — the regime the
+    paper's uncalibrated INL numbers invite), scaled to a population
+    and screened through the vectorized engine.
+    """
+    config = mismatch_dominated_config()
+    spec = YieldSpec(min_enob=9.0, max_dnl_lsb=2.0, max_inl_lsb=2.0)
+    common = dict(
+        n_dies=4 if quick else 8,
+        seed=2026,
+        config=config,
+        spec=spec,
+        n_fft=1024 if quick else 2048,
+        engine="vectorized",
+        calibration_samples_per_code=12,
+    )
+    uncalibrated = run_yield_analysis(**common)
+    calibrated = run_yield_analysis(calibrate=True, **common)
+
+    def row(label: str, report) -> tuple:
+        return (
+            label,
+            f"{100 * report.yield_fraction:.0f}%",
+            f"{np.median(report.enobs()):.2f}",
+            f"{np.median(report.inl_peaks()):.2f}",
+            f"{report.inl_peaks().max():.2f}",
+            f"{report.dnl_peaks().max():.2f}",
+        )
+
+    rows = (
+        row("uncalibrated", uncalibrated),
+        row("calibrated", calibrated),
+    )
+    median_inl_uncal = float(np.median(uncalibrated.inl_peaks()))
+    median_inl_cal = float(np.median(calibrated.inl_peaks()))
+    median_enob_uncal = float(np.median(uncalibrated.enobs()))
+    median_enob_cal = float(np.median(calibrated.enobs()))
+    claims = (
+        ClaimCheck(
+            claim=(
+                "die-batched foreground calibration lifts yield on a "
+                "mismatch-dominated population (extension; not in the "
+                "paper)"
+            ),
+            passed=calibrated.yield_fraction > uncalibrated.yield_fraction,
+            detail=(
+                f"yield {100 * uncalibrated.yield_fraction:.0f}% -> "
+                f"{100 * calibrated.yield_fraction:.0f}% against "
+                f"ENOB >= {spec.min_enob}, |DNL| <= {spec.max_dnl_lsb}, "
+                f"|INL| <= {spec.max_inl_lsb} LSB"
+            ),
+        ),
+        ClaimCheck(
+            claim="calibration more than halves the median |INL| spread",
+            passed=median_inl_cal < 0.5 * median_inl_uncal,
+            detail=(
+                f"median |INL| {median_inl_uncal:.2f} -> "
+                f"{median_inl_cal:.2f} LSB"
+            ),
+        ),
+        ClaimCheck(
+            claim=(
+                "calibration recovers over a bit of median ENOB lost to "
+                "mismatch distortion"
+            ),
+            passed=median_enob_cal > median_enob_uncal + 1.0,
+            detail=(
+                f"median ENOB {median_enob_uncal:.2f} -> "
+                f"{median_enob_cal:.2f} bits"
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="scenario-calibrated-yield",
+        title="Calibrated vs uncalibrated yield (vectorized engine)",
+        headers=(
+            "screen",
+            "yield",
+            "median ENOB",
+            "median |INL|",
+            "worst |INL|",
+            "worst |DNL|",
+        ),
+        rows=rows,
+        claims=claims,
+        notes=(
+            "Extension beyond the published, uncalibrated part; both "
+            "screens run die-batched on the vectorized engine "
+            "(GainCalibrationArray calibrates each chunk in one pass).",
         ),
     )
 

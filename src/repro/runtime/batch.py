@@ -305,6 +305,16 @@ def _run_task(
         )
 
 
+def _stops_batch(
+    stop_on_failure: bool | Callable[[TaskOutcome], bool],
+    outcome: TaskOutcome,
+) -> bool:
+    """Whether a failed outcome stops a ``stop_on_failure`` batch."""
+    if callable(stop_on_failure):
+        return bool(stop_on_failure(outcome))
+    return bool(stop_on_failure)
+
+
 def _if_picklable(error: BaseException) -> BaseException | None:
     """The exception itself if it can travel across the pool, else None."""
     try:
@@ -364,6 +374,7 @@ class BatchRunner:
         fn: Callable[..., Any],
         tasks: Iterable[Any],
         root_seed: int | None = None,
+        stop_on_failure: bool | Callable[[TaskOutcome], bool] = False,
     ) -> BatchResult:
         """Execute ``fn`` over every task.
 
@@ -375,6 +386,17 @@ class BatchRunner:
                 with ``SeedSequence.spawn`` — task *i*'s seed depends
                 only on ``(root_seed, i)``, never on chunking or worker
                 count.
+            stop_on_failure: stop dispatching as soon as a failed
+                outcome comes back (fail-fast batches, e.g. a sweep
+                with ``continue_on_error=False``): the serial path
+                stops exactly at the failing task, the pool path
+                terminates outstanding work (with ``workers > 1`` the
+                stopping failure is the first to *arrive*, which under
+                pool scheduling is not necessarily the lowest-index
+                one).  A callable is a predicate over failed outcomes —
+                only failures it accepts stop the batch; the rest are
+                recorded and dispatch continues.  The returned outcomes
+                cover only the tasks that completed.
 
         Returns:
             A :class:`BatchResult` with outcomes in submission order.
@@ -415,7 +437,10 @@ class BatchRunner:
 
         if workers == 1:
             for payload in payloads:
-                note(_run_task(payload, in_process=True))
+                outcome = _run_task(payload, in_process=True)
+                note(outcome)
+                if not outcome.ok and _stops_batch(stop_on_failure, outcome):
+                    break
         else:
             context = multiprocessing.get_context(self.mp_context)
             with context.Pool(processes=workers) as pool:
@@ -423,6 +448,10 @@ class BatchRunner:
                     _run_task, payloads, chunksize=chunk_size
                 ):
                     note(outcome)
+                    if not outcome.ok and _stops_batch(stop_on_failure, outcome):
+                        # Leaving the with-block terminates the pool,
+                        # abandoning the not-yet-collected tasks.
+                        break
 
         outcomes.sort(key=lambda outcome: outcome.index)
         return BatchResult(

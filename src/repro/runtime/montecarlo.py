@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.adc import PipelineAdc
 from repro.core.adc_array import AdcArray
+from repro.core.calibration import GainCalibration, GainCalibrationArray
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.reporting import format_table
@@ -59,12 +60,15 @@ class YieldSpec:
     Attributes:
         min_enob: minimum effective number of bits.
         max_dnl_lsb: maximum |DNL| in LSB.
+        max_inl_lsb: maximum |INL| in LSB; None skips the INL screen
+            (the default, matching the legacy spec shape).
         conversion_rate: sample rate the screen runs at [Hz].
         input_frequency: test-tone frequency [Hz].
     """
 
     min_enob: float = 10.0
     max_dnl_lsb: float = 1.5
+    max_inl_lsb: float | None = None
     conversion_rate: float = 110e6
     input_frequency: float = 10e6
 
@@ -74,7 +78,15 @@ class YieldSpec:
         if self.input_frequency <= 0:
             raise ConfigurationError("input_frequency must be positive")
 
-    def passes(self, enob_bits: float, dnl_peak_lsb: float) -> bool:
+    def passes(
+        self,
+        enob_bits: float,
+        dnl_peak_lsb: float,
+        inl_peak_lsb: float | None = None,
+    ) -> bool:
+        if self.max_inl_lsb is not None and inl_peak_lsb is not None:
+            if inl_peak_lsb > self.max_inl_lsb:
+                return False
         return enob_bits >= self.min_enob and dnl_peak_lsb <= self.max_dnl_lsb
 
 
@@ -89,6 +101,10 @@ class DieTask:
         n_fft: coherent capture length for the spectral measurement.
         ramp_points_per_code: ramp samples per output code for the
             code-density DNL measurement.
+        calibrate: run foreground gain calibration first and screen the
+            calibrated reconstruction (extension beyond the paper).
+        calibration_samples_per_code: calibration-ramp density when
+            ``calibrate`` is set.
     """
 
     sample: ProcessSample
@@ -96,6 +112,8 @@ class DieTask:
     spec: YieldSpec = field(default_factory=YieldSpec)
     n_fft: int = 4096
     ramp_points_per_code: int = 16
+    calibrate: bool = False
+    calibration_samples_per_code: int = 8
 
     def __post_init__(self) -> None:
         if self.n_fft <= 0:
@@ -106,6 +124,11 @@ class DieTask:
             raise ConfigurationError(
                 "ramp_points_per_code must be >= 16 for a valid "
                 f"code-density histogram, got {self.ramp_points_per_code}"
+            )
+        if self.calibrate and self.calibration_samples_per_code < 4:
+            raise ConfigurationError(
+                "calibration_samples_per_code must be >= 4, got "
+                f"{self.calibration_samples_per_code}"
             )
 
 
@@ -123,7 +146,10 @@ class DieMetrics:
         sndr_db: measured SNDR [dB].
         enob_bits: effective number of bits.
         dnl_peak_lsb: worst-case |DNL| [LSB].
+        inl_peak_lsb: worst-case |INL| [LSB].
         passed: verdict against the screening spec.
+        calibrated: whether the screened codes went through foreground
+            gain calibration.
     """
 
     index: int
@@ -135,7 +161,9 @@ class DieMetrics:
     sndr_db: float
     enob_bits: float
     dnl_peak_lsb: float
+    inl_peak_lsb: float
     passed: bool
+    calibrated: bool = False
 
     def to_metrics(self) -> dict[str, float]:
         """Numeric summary fields (feeds ``BatchResult.summary``)."""
@@ -143,14 +171,20 @@ class DieMetrics:
             "sndr_db": self.sndr_db,
             "enob_bits": self.enob_bits,
             "dnl_peak_lsb": self.dnl_peak_lsb,
+            "inl_peak_lsb": self.inl_peak_lsb,
         }
 
 
 def _die_metrics(
-    die: ProcessSample, spec: YieldSpec, spectrum, linearity
+    die: ProcessSample,
+    spec: YieldSpec,
+    spectrum,
+    linearity,
+    calibrated: bool = False,
 ) -> DieMetrics:
     """Assemble one die's record from its measured spectrum and ramp."""
     dnl_peak = max(abs(linearity.dnl_min), abs(linearity.dnl_max))
+    inl_peak = max(abs(linearity.inl_min), abs(linearity.inl_max))
     point = die.operating_point
     return DieMetrics(
         index=die.index,
@@ -162,15 +196,20 @@ def _die_metrics(
         sndr_db=spectrum.sndr_db,
         enob_bits=spectrum.enob_bits,
         dnl_peak_lsb=dnl_peak,
-        passed=spec.passes(spectrum.enob_bits, dnl_peak),
+        inl_peak_lsb=inl_peak,
+        passed=spec.passes(spectrum.enob_bits, dnl_peak, inl_peak),
+        calibrated=calibrated,
     )
 
 
 def measure_die(task: DieTask) -> DieMetrics:
-    """Measure one die: dynamic (SNDR/ENOB) and static (DNL) screens.
+    """Measure one die: dynamic (SNDR/ENOB) and static (DNL/INL) screens.
 
     Module-level and dependent only on ``task``, so it can run in any
     worker process of any batch partition and produce identical bits.
+    With ``task.calibrate`` the die is foreground-calibrated first
+    (capture on the die's reserved calibration stream) and the screens
+    measure the calibrated reconstruction.
     """
     die = task.sample
     spec = task.spec
@@ -180,18 +219,38 @@ def measure_die(task: DieTask) -> DieMetrics:
         operating_point=die.operating_point,
         seed=die.seed,
     )
+    calibration = None
+    if task.calibrate:
+        calibration = GainCalibration(
+            adc, samples_per_code=task.calibration_samples_per_code
+        )
+        calibration.calibrate()
     tone = SineGenerator.coherent(
         spec.input_frequency, spec.conversion_rate, task.n_fft, amplitude=0.995
     )
-    metrics = SpectrumAnalyzer().analyze(
-        adc.convert(tone, task.n_fft).codes, spec.conversion_rate
+    capture = adc.convert(tone, task.n_fft)
+    tone_codes = (
+        calibration.reconstruct(capture.stage_codes, capture.flash_codes)
+        if calibration
+        else capture.codes
     )
+    metrics = SpectrumAnalyzer().analyze(tone_codes, spec.conversion_rate)
     n_codes = task.config.n_codes
     ramp = np.linspace(
         -_RAMP_OVERDRIVE, _RAMP_OVERDRIVE, n_codes * task.ramp_points_per_code
     )
-    linearity = ramp_linearity(adc.convert_samples(ramp).codes, n_codes)
-    return _die_metrics(die, spec, metrics, linearity)
+    ramp_result = adc.convert_samples(ramp)
+    ramp_codes = (
+        calibration.reconstruct(
+            ramp_result.stage_codes, ramp_result.flash_codes
+        )
+        if calibration
+        else ramp_result.codes
+    )
+    linearity = ramp_linearity(ramp_codes, n_codes)
+    return _die_metrics(
+        die, spec, metrics, linearity, calibrated=task.calibrate
+    )
 
 
 @dataclass(frozen=True)
@@ -204,6 +263,10 @@ class DieChunkTask:
         spec: measurement conditions and screen limits.
         n_fft: coherent capture length for the spectral measurement.
         ramp_points_per_code: ramp samples per output code.
+        calibrate: foreground-calibrate the whole chunk in one batched
+            capture and screen the calibrated reconstruction.
+        calibration_samples_per_code: calibration-ramp density when
+            ``calibrate`` is set.
     """
 
     samples: tuple[ProcessSample, ...]
@@ -211,6 +274,8 @@ class DieChunkTask:
     spec: YieldSpec = field(default_factory=YieldSpec)
     n_fft: int = 4096
     ramp_points_per_code: int = 16
+    calibrate: bool = False
+    calibration_samples_per_code: int = 8
 
     def __post_init__(self) -> None:
         if not self.samples:
@@ -222,6 +287,11 @@ class DieChunkTask:
                 "ramp_points_per_code must be >= 16 for a valid "
                 f"code-density histogram, got {self.ramp_points_per_code}"
             )
+        if self.calibrate and self.calibration_samples_per_code < 4:
+            raise ConfigurationError(
+                "calibration_samples_per_code must be >= 4, got "
+                f"{self.calibration_samples_per_code}"
+            )
 
 
 def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
@@ -232,16 +302,31 @@ def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
     batched code-density histograms produce the per-die metrics.  Each
     die's output codes are bit-exact with :func:`measure_die` on the
     same die, because every die draws from its own seed-derived noise
-    streams regardless of the chunking.
+    streams regardless of the chunking.  With ``task.calibrate`` the
+    whole chunk is foreground-calibrated first —
+    :class:`~repro.core.calibration.GainCalibrationArray` captures the
+    calibration ramp for every die in one batched pass and the screens
+    measure the calibrated reconstruction, die-for-die equivalent to
+    the serial calibration in :func:`measure_die`.
     """
     spec = task.spec
     adc = AdcArray(task.config, spec.conversion_rate, task.samples)
+    calibration = None
+    if task.calibrate:
+        calibration = GainCalibrationArray(
+            adc, samples_per_code=task.calibration_samples_per_code
+        )
+        calibration.calibrate()
     tone = SineGenerator.coherent(
         spec.input_frequency, spec.conversion_rate, task.n_fft, amplitude=0.995
     )
-    spectra = SpectrumAnalyzer().analyze_batch(
-        adc.convert(tone, task.n_fft).codes, spec.conversion_rate
+    capture = adc.convert(tone, task.n_fft)
+    tone_codes = (
+        calibration.reconstruct(capture.stage_codes, capture.flash_codes)
+        if calibration
+        else capture.codes
     )
+    spectra = SpectrumAnalyzer().analyze_batch(tone_codes, spec.conversion_rate)
     n_codes = task.config.n_codes
     ramp = np.linspace(
         -_RAMP_OVERDRIVE, _RAMP_OVERDRIVE, n_codes * task.ramp_points_per_code
@@ -251,12 +336,20 @@ def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
     # while the per-die rows are bit-exact either way (each die draws
     # only from its own seed-derived stream).  The code-density
     # histograms are then built in one batched bincount pass.
+    def ramp_row(index: int, die: PipelineAdc) -> np.ndarray:
+        result = die.convert_samples(ramp)
+        if calibration is None:
+            return result.codes
+        return calibration.reconstruct_die(
+            index, result.stage_codes, result.flash_codes
+        )
+
     ramp_codes = np.stack(
-        [die.convert_samples(ramp).codes for die in adc.dies]
+        [ramp_row(index, die) for index, die in enumerate(adc.dies)]
     )
     linearities = ramp_linearity(ramp_codes, n_codes)
     return tuple(
-        _die_metrics(die, spec, spectrum, linearity)
+        _die_metrics(die, spec, spectrum, linearity, calibrated=task.calibrate)
         for die, spectrum, linearity in zip(task.samples, spectra, linearities)
     )
 
@@ -270,11 +363,14 @@ class YieldReport:
         spec: the screen the dies were measured against.
         engine: execution engine that produced the batch ("pool" or
             "vectorized"); per-die metrics are engine-independent.
+        calibrated: whether the dies were foreground-calibrated before
+            screening (extension beyond the paper).
     """
 
     batch: BatchResult
     spec: YieldSpec
     engine: str = "pool"
+    calibrated: bool = False
 
     @property
     def dies(self) -> list[DieMetrics]:
@@ -300,6 +396,9 @@ class YieldReport:
     def dnl_peaks(self) -> np.ndarray:
         return np.array([die.dnl_peak_lsb for die in self.dies])
 
+    def inl_peaks(self) -> np.ndarray:
+        return np.array([die.inl_peak_lsb for die in self.dies])
+
     def render(self) -> str:
         """Full textual report: per-die table, distributions, yield."""
         rows = [
@@ -311,10 +410,12 @@ class YieldReport:
                 f"{die.sndr_db:.1f}",
                 f"{die.enob_bits:.2f}",
                 f"{die.dnl_peak_lsb:.2f}",
+                f"{die.inl_peak_lsb:.2f}",
                 "pass" if die.passed else "FAIL",
             )
             for die in self.dies
         ]
+        reconstruction = "calibrated" if self.calibrated else "uncalibrated"
         lines = [
             format_table(
                 (
@@ -325,18 +426,21 @@ class YieldReport:
                     "SNDR [dB]",
                     "ENOB",
                     "|DNL| [LSB]",
+                    "|INL| [LSB]",
                     "spec",
                 ),
                 rows,
                 title=(
                     f"--- {self.n_dies} Monte Carlo dies at "
-                    f"{self.spec.conversion_rate / 1e6:.0f} MS/s ---"
+                    f"{self.spec.conversion_rate / 1e6:.0f} MS/s "
+                    f"({reconstruction}) ---"
                 ),
             ),
             "",
         ]
         enobs = self.enobs()
         dnls = self.dnl_peaks()
+        inls = self.inl_peaks()
         if enobs.size:
             lines.append(
                 f"ENOB: median {np.median(enobs):.2f}, "
@@ -346,10 +450,18 @@ class YieldReport:
                 f"|DNL|: median {np.median(dnls):.2f} LSB, "
                 f"worst {dnls.max():.2f} LSB"
             )
-        lines.append(
+            lines.append(
+                f"|INL|: median {np.median(inls):.2f} LSB, "
+                f"worst {inls.max():.2f} LSB"
+            )
+        limits = (
             f"yield against ENOB >= {self.spec.min_enob} and "
-            f"|DNL| <= {self.spec.max_dnl_lsb} LSB: "
-            f"{self.n_pass}/{self.n_dies} "
+            f"|DNL| <= {self.spec.max_dnl_lsb} LSB"
+        )
+        if self.spec.max_inl_lsb is not None:
+            limits += f" and |INL| <= {self.spec.max_inl_lsb} LSB"
+        lines.append(
+            f"{limits}: {self.n_pass}/{self.n_dies} "
             f"({100 * self.yield_fraction:.0f}%)"
         )
         for failure in self.batch.failures:
@@ -357,8 +469,10 @@ class YieldReport:
                 f"die {failure.index} CRASHED: "
                 f"{failure.error_type}: {failure.error}"
             )
+        calibration = " foreground-calibrated," if self.calibrated else ""
         lines.append(
-            f"batch: {self.engine} engine, {self.batch.workers} worker(s), "
+            f"batch: {self.engine} engine,{calibration} "
+            f"{self.batch.workers} worker(s), "
             f"chunk size {self.batch.chunk_size}, {self.batch.elapsed_s:.2f} s"
         )
         return "\n".join(lines)
@@ -366,6 +480,7 @@ class YieldReport:
     def to_dict(self) -> dict:
         document = self.batch.to_dict()
         document["engine"] = self.engine
+        document["calibrated"] = self.calibrated
         document["spec"] = json_safe(self.spec)
         document["yield"] = {
             "n_dies": self.n_dies,
@@ -452,6 +567,8 @@ def run_yield_analysis(
     ramp_points_per_code: int = 16,
     seed_strategy: str = "stream",
     engine: str = "pool",
+    calibrate: bool = False,
+    calibration_samples_per_code: int = 8,
     die_chunk: int | None = None,
     workers: int | None = 1,
     chunk_size: int | None = None,
@@ -470,6 +587,11 @@ def run_yield_analysis(
         sampler: die sampler (industrial-range default when omitted).
         n_fft: coherent capture length per die.
         ramp_points_per_code: ramp density for the DNL screen.
+        calibrate: foreground-calibrate every die first and screen the
+            calibrated reconstruction — per-die identical across
+            engines (the vectorized engine calibrates whole chunks in
+            one batched capture).
+        calibration_samples_per_code: calibration-ramp density.
         seed_strategy: ``"stream"`` draws dies from one sequential
             generator (bit-compatible with the legacy serial loops);
             ``"spawn"`` derives each die from its own
@@ -523,6 +645,8 @@ def run_yield_analysis(
                 spec=spec,
                 n_fft=n_fft,
                 ramp_points_per_code=ramp_points_per_code,
+                calibrate=calibrate,
+                calibration_samples_per_code=calibration_samples_per_code,
             )
             for die in dies
         ]
@@ -539,6 +663,8 @@ def run_yield_analysis(
                 spec=spec,
                 n_fft=n_fft,
                 ramp_points_per_code=ramp_points_per_code,
+                calibrate=calibrate,
+                calibration_samples_per_code=calibration_samples_per_code,
             )
             for chunk in chunks
         ]
@@ -549,4 +675,6 @@ def run_yield_analysis(
         raise ConfigurationError(
             f"engine must be 'pool' or 'vectorized', got '{engine}'"
         )
-    return YieldReport(batch=batch, spec=spec, engine=engine)
+    return YieldReport(
+        batch=batch, spec=spec, engine=engine, calibrated=calibrate
+    )

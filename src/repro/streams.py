@@ -39,8 +39,16 @@ CONVERT_NOISE_STREAM = 0
 #: Spawn-key index of the noise stream consumed by ``convert_samples``
 #: (pre-acquired held voltages).
 SAMPLES_NOISE_STREAM = 1
-#: Number of reserved per-die noise streams.
-_N_NOISE_STREAMS = 2
+#: Spawn-key index of the noise stream consumed by foreground
+#: calibration captures (:mod:`repro.core.calibration`).  Keeping the
+#: calibration ramp on its own reserved stream means a calibration
+#: neither collides with nor correlates against the conversion noise of
+#: the measurements it is later applied to.
+CALIBRATION_NOISE_STREAM = 2
+#: Number of reserved per-die noise streams.  Children are keyed by
+#: their spawn index, so growing this count never changes the streams
+#: that already exist.
+_N_NOISE_STREAMS = 3
 
 
 def noise_generator(die_seed: int, stream: int) -> np.random.Generator:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.adc import PipelineAdc
 from repro.core.calibration import GainCalibration
-from repro.core.config import AdcConfig
 from repro.errors import CalibrationError, ConfigurationError
 from repro.signal.linearity import ramp_linearity
 
@@ -14,17 +13,11 @@ from repro.signal.linearity import ramp_linearity
 def mismatched_adc():
     """A die with exaggerated capacitor mismatch and the front end
     bypassed, so the weight errors dominate everything else."""
-    from dataclasses import replace
-    from repro.technology.process import Technology
+    from repro.experiments.extensions import mismatch_dominated_config
 
-    config = replace(
-        AdcConfig.paper_default(),
-        technology=Technology(metal_cap_matching=2.0e-7),
-        include_jitter=False,
-        include_reference_noise=False,
-        include_tracking=False,
+    return PipelineAdc(
+        mismatch_dominated_config(), conversion_rate=110e6, seed=5
     )
-    return PipelineAdc(config, conversion_rate=110e6, seed=5)
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +76,129 @@ class TestGainCalibration:
         result = mismatched_adc.convert_samples(np.linspace(-1.2, 1.2, 500))
         codes = calibration.reconstruct(result.stage_codes, result.flash_codes)
         assert codes.min() >= 0 and codes.max() <= 4095
+
+    def test_overdriven_samples_stay_at_the_rails(
+        self, calibration, mismatched_adc
+    ):
+        """Regression: rail-saturated decisions must reconstruct to the
+        rails — the fitted offset would otherwise fold hundreds of
+        clipped ramp samples onto an interior code (code-density
+        histograms then see a massive fake DNL spike)."""
+        result = mismatched_adc.convert_samples(
+            np.linspace(-1.3, 1.3, 400)
+        )
+        codes = calibration.reconstruct(result.stage_codes, result.flash_codes)
+        railed = (result.codes == 0) | (result.codes == 4095)
+        assert railed.any()
+        assert np.array_equal(codes[railed], result.codes[railed])
+
+
+class TestReconstructShapes:
+    """Regression for the hardcoded ``np.ones(shape[0])`` ones column:
+    scalar and die-batched (leading-axis) inputs must reconstruct too."""
+
+    @pytest.fixture(scope="class")
+    def capture(self, mismatched_adc):
+        return mismatched_adc.convert_samples(np.linspace(-0.9, 0.9, 200))
+
+    def test_1d_record(self, calibration, capture):
+        codes = calibration.reconstruct(
+            capture.stage_codes, capture.flash_codes
+        )
+        assert codes.shape == capture.flash_codes.shape
+
+    def test_scalar_sample(self, calibration, capture):
+        reference = calibration.reconstruct(
+            capture.stage_codes, capture.flash_codes
+        )
+        one = calibration.reconstruct(
+            capture.stage_codes[7], capture.flash_codes[7]
+        )
+        assert one.shape == ()
+        assert int(one) == reference[7]
+
+    def test_die_batched_block(self, calibration, capture):
+        reference = calibration.reconstruct(
+            capture.stage_codes, capture.flash_codes
+        )
+        stacked_codes = np.stack([capture.stage_codes] * 3)
+        stacked_flash = np.stack([capture.flash_codes] * 3)
+        block = calibration.reconstruct(stacked_codes, stacked_flash)
+        assert block.shape == stacked_flash.shape
+        for row in block:
+            assert np.array_equal(row, reference)
+
+    def test_mismatched_shapes_rejected(self, calibration, capture):
+        with pytest.raises(ConfigurationError):
+            calibration.reconstruct(
+                capture.stage_codes, capture.flash_codes[:-1]
+            )
+
+
+class TestCalibrationSeeding:
+    """The capture must ride its own SeedSequence-spawned stream."""
+
+    def test_default_capture_replays_from_die_seed(self, mismatched_adc):
+        a = GainCalibration(mismatched_adc, samples_per_code=4).calibrate()
+        b = GainCalibration(mismatched_adc, samples_per_code=4).calibrate()
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed_escape_hatch(self, mismatched_adc):
+        a = GainCalibration(mismatched_adc, samples_per_code=4).calibrate(
+            noise_seed=987
+        )
+        b = GainCalibration(mismatched_adc, samples_per_code=4).calibrate(
+            noise_seed=987
+        )
+        c = GainCalibration(mismatched_adc, samples_per_code=4).calibrate(
+            noise_seed=988
+        )
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_calibration_stream_is_reserved(self):
+        """The calibration stream is spawned separately from both
+        conversion streams — captures can neither collide with nor
+        correlate against measurement noise."""
+        from repro.streams import (
+            CALIBRATION_NOISE_STREAM,
+            CONVERT_NOISE_STREAM,
+            SAMPLES_NOISE_STREAM,
+            noise_generator,
+        )
+
+        draws = {
+            stream: noise_generator(42, stream).normal(size=16)
+            for stream in (
+                CONVERT_NOISE_STREAM,
+                SAMPLES_NOISE_STREAM,
+                CALIBRATION_NOISE_STREAM,
+            )
+        }
+        assert not np.array_equal(
+            draws[CALIBRATION_NOISE_STREAM], draws[CONVERT_NOISE_STREAM]
+        )
+        assert not np.array_equal(
+            draws[CALIBRATION_NOISE_STREAM], draws[SAMPLES_NOISE_STREAM]
+        )
+
+    def test_spawning_reserved_stream_kept_existing_streams(self):
+        """Adding the calibration stream must not have moved the two
+        conversion streams (children are keyed by spawn index)."""
+        from repro.streams import noise_generator
+
+        children = np.random.SeedSequence(42).spawn(2)
+        for stream, child in enumerate(children):
+            expected = np.random.default_rng(child).normal(size=8)
+            assert np.array_equal(
+                noise_generator(42, stream).normal(size=8), expected
+            )
+
+    def test_capture_does_not_disturb_measurements(self, mismatched_adc):
+        """A conversion after calibration equals one without: the
+        capture draws from its own stream, not the conversion's."""
+        ramp = np.linspace(-0.5, 0.5, 64)
+        before = mismatched_adc.convert_samples(ramp).codes
+        GainCalibration(mismatched_adc, samples_per_code=4).calibrate()
+        after = mismatched_adc.convert_samples(ramp).codes
+        assert np.array_equal(before, after)

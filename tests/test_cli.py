@@ -81,6 +81,41 @@ class TestMcCli:
         assert args.die_chunk == 4
         assert build_mc_parser().parse_args([]).engine == "pool"
 
+    def test_mc_calibrate_flag_parses(self):
+        args = build_mc_parser().parse_args(["--calibrate", "--cal-samples", "6"])
+        assert args.calibrate
+        assert args.cal_samples == 6
+        defaults = build_mc_parser().parse_args([])
+        assert not defaults.calibrate
+        assert defaults.cal_samples == 8
+        assert defaults.spec_inl is None
+
+    def test_mc_calibrated_run(self, capsys, tmp_path):
+        out_path = tmp_path / "mc-cal.json"
+        code = main(
+            [
+                "mc",
+                "--dies",
+                "2",
+                "--fft-points",
+                "512",
+                "--engine",
+                "vectorized",
+                "--calibrate",
+                "--cal-samples",
+                "4",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "foreground-calibrated" in out
+        import json
+
+        document = json.loads(out_path.read_text())
+        assert document["calibrated"] is True
+
     def test_mc_vectorized_engine_matches_pool(self, capsys):
         """ISSUE acceptance: the engines render the same yield table."""
 

@@ -25,12 +25,19 @@ EXTENSION_IDS = [
     "ext-datasheet",
     "ext-amplitude",
 ]
+SCENARIO_IDS = [
+    "scenario-if",
+    "scenario-ultrasound",
+    "scenario-calibrated-yield",
+]
 
 
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = available_experiments()
-        for expected in FIGURE_IDS + SWEEP_IDS + ABLATION_IDS + EXTENSION_IDS:
+        for expected in (
+            FIGURE_IDS + SWEEP_IDS + ABLATION_IDS + EXTENSION_IDS + SCENARIO_IDS
+        ):
             assert expected in ids
 
     def test_unknown_id_rejected(self):
@@ -66,6 +73,15 @@ def test_extension_experiments_pass(experiment_id):
     result = run_experiment(experiment_id, quick=True)
     failed = [c.claim for c in result.claims if not c.passed]
     assert not failed, f"{experiment_id} missed: {failed}"
+
+
+def test_calibrated_yield_scenario_passes():
+    """The die-batched calibrated-yield screen (quick mode): claims
+    compare calibrated against uncalibrated INL/ENOB spread and yield."""
+    result = run_experiment("scenario-calibrated-yield", quick=True)
+    assert len(result.rows) == 2
+    failed = [c.claim for c in result.claims if not c.passed]
+    assert not failed, f"scenario-calibrated-yield missed: {failed}"
 
 
 def test_render_is_printable():

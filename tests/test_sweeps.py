@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ModelDomainError
 from repro.evaluation.sweeps import SweepPoint, extract, sweep
+from repro.runtime.batch import BatchRunner
 
 
 class TestSweep:
@@ -38,6 +39,122 @@ class TestSweep:
 
         with pytest.raises(ValueError):
             sweep([1], evaluate, continue_on_error=True)
+
+
+def _wall_at(limit):
+    def evaluate(x):
+        if x > limit:
+            raise ModelDomainError(f"too fast at {x}")
+        return x * 10
+
+    return evaluate
+
+
+class TestDispatchModeParity:
+    """Regression: the serial lazy loop and the BatchRunner-dispatched
+    path must handle ``continue_on_error`` identically."""
+
+    def test_record_and_continue_matches_serial(self):
+        evaluate = _wall_at(2)
+        serial = sweep([1, 2, 3, 4], evaluate, continue_on_error=True)
+        batched = sweep(
+            [1, 2, 3, 4],
+            evaluate,
+            continue_on_error=True,
+            runner=BatchRunner(workers=1),
+        )
+        assert [(p.parameter, p.result, p.ok, p.error) for p in serial] == [
+            (p.parameter, p.result, p.ok, p.error) for p in batched
+        ]
+
+    def test_record_and_continue_through_worker_pool(self):
+        points = sweep(
+            [1.0, 2.0, 3.0, 4.0],
+            _sweep_wall_at_two,
+            continue_on_error=True,
+            runner=BatchRunner(workers=2),
+        )
+        assert [p.ok for p in points] == [True, True, False, False]
+        assert "too fast" in points[2].error
+
+    def test_fail_fast_raises_in_both_modes(self):
+        evaluate = _wall_at(2)
+        with pytest.raises(ModelDomainError):
+            sweep([1, 2, 3], evaluate)
+        with pytest.raises(ModelDomainError):
+            sweep([1, 2, 3], evaluate, runner=BatchRunner(workers=1))
+
+    def test_fail_fast_stops_dispatch_like_serial(self):
+        """Regression: the batched path used to evaluate every point
+        before re-raising; the serial loop stops at the failure."""
+        serial_calls, batched_calls = [], []
+
+        def make(calls):
+            def evaluate(x):
+                calls.append(x)
+                if x >= 2:
+                    raise ModelDomainError("wall")
+                return x
+
+            return evaluate
+
+        with pytest.raises(ModelDomainError):
+            sweep([1, 2, 3, 4], make(serial_calls))
+        with pytest.raises(ModelDomainError):
+            sweep(
+                [1, 2, 3, 4],
+                make(batched_calls),
+                runner=BatchRunner(workers=1),
+            )
+        assert serial_calls == [1, 2]
+        assert batched_calls == serial_calls
+
+    def test_non_repro_errors_propagate_in_batched_mode(self):
+        def evaluate(x):
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            sweep(
+                [1],
+                evaluate,
+                continue_on_error=True,
+                runner=BatchRunner(workers=1),
+            )
+
+    def test_non_repro_error_stops_dispatch_even_when_continuing(self):
+        """A genuine bug (non-ReproError) stops evaluation at its point
+        in both modes — continue_on_error only tolerates model-validity
+        walls, and the batched path must not burn through the remaining
+        points before propagating."""
+        serial_calls, batched_calls = [], []
+
+        def make(calls):
+            def evaluate(x):
+                calls.append(x)
+                if x == 2:
+                    raise ValueError("bug")
+                return x
+
+            return evaluate
+
+        with pytest.raises(ValueError):
+            sweep([1, 2, 3, 4], make(serial_calls), continue_on_error=True)
+        with pytest.raises(ValueError):
+            sweep(
+                [1, 2, 3, 4],
+                make(batched_calls),
+                continue_on_error=True,
+                runner=BatchRunner(workers=1),
+            )
+        assert serial_calls == [1, 2]
+        assert batched_calls == serial_calls
+
+
+def _sweep_wall_at_two(x):
+    """Module-level (picklable) evaluator for the worker-pool test."""
+    if x > 2:
+        raise ModelDomainError(f"too fast at {x}")
+    return x * 10
 
 
 class TestExtract:
