@@ -15,6 +15,10 @@ execution-engine configuration:
   engine captures each chunk's calibration ramp in one die-batched
   pass (``GainCalibrationArray``), so the per-die calibration Python
   dispatch disappears on top of the yield-screen batching.
+- ``pvt-campaign`` — the ``repro campaign`` sign-off workload: a
+  5-corner x 3-temperature x N-die grid, serial = the legacy
+  ``ext-corners``-style per-cell ``DynamicTestbench`` loop, vectorized
+  = corner-batched ``(cells, samples)`` AdcArray passes.
 
 Engine configurations per workload:
 
@@ -27,11 +31,21 @@ Engine configurations per workload:
 Per-die metrics are asserted identical across the configurations (the
 engines are bit-exact per die), and the wall times plus speedups are
 emitted as a ``BENCH_engines.json`` artifact for the perf trajectory.
+The artifact records environment metadata (numpy version, CPU count,
+platform) so baseline comparisons across machines are interpretable.
+
+``--compare-baseline PATH`` additionally compares the fresh run against
+a committed baseline artifact (``benchmarks/BENCH_baseline.json``): the
+run fails when any shared workload's wall time regresses beyond the
+tolerance (default 1.5x) or when the engines' metrics diverge — the CI
+benchmark-regression gate.
 
 Run as a script::
 
     python benchmarks/bench_engines.py --dies 32 --fft-points 4096 \
         --out BENCH_engines.json
+    python benchmarks/bench_engines.py --dies 16 --fft-points 2048 \
+        --compare-baseline benchmarks/BENCH_baseline.json
 
 or through pytest (small smoke workload)::
 
@@ -50,8 +64,16 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-#: Schema tag for the emitted artifact.
-BENCH_ENGINES_SCHEMA = "repro.bench-engines/v3"
+#: Schema tag for the emitted artifact.  v4: adds the pvt-campaign
+#: workload and environment metadata (numpy version, machine).
+BENCH_ENGINES_SCHEMA = "repro.bench-engines/v4"
+
+#: Wall-time regression tolerance of the --compare-baseline gate.
+BASELINE_TOLERANCE = 1.5
+
+#: Additive slack [s] on top of the tolerance: sub-100ms workloads
+#: cannot trip the gate on scheduler noise alone.
+BASELINE_SLACK_S = 0.1
 
 #: Dies per vectorized chunk for the dynamic screen (cache-sized).
 _DYNAMIC_DIE_CHUNK = 8
@@ -184,15 +206,29 @@ def _compare_configs(run_one, workers: int) -> dict:
     }
 
 
+def _run_campaign_config(campaign_dies, n_fft, seed, engine, workers):
+    from repro.runtime.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(n_dies=campaign_dies, seed=seed, n_samples=n_fft)
+    report = run_campaign(spec, engine=engine, workers=workers)
+    report.batch.raise_first_failure()
+    return sorted(
+        (c.index, c.snr_db, c.sndr_db, c.sfdr_db, c.enob_bits)
+        for c in report.cells
+    )
+
+
 def run_engine_comparison(
     dies: int = 32,
     n_fft: int = 4096,
     ramp_points_per_code: int = 16,
     calibration_samples_per_code: int = 8,
+    campaign_dies: int = 16,
     seed: int = 2026,
     workers: int | None = None,
     include_yield_screen: bool = True,
     include_calibrated_yield: bool = True,
+    include_campaign: bool = True,
 ) -> dict:
     """Time every engine configuration on the seeded workloads."""
     import numpy as np
@@ -260,17 +296,144 @@ def run_engine_comparison(
                 lambda config: run_yield(config, calibrate=True), workers
             ),
         }
+    if include_campaign:
+        workloads["pvt-campaign"] = {
+            "params": {
+                "corners": 5,
+                "temperatures": 3,
+                "dies": campaign_dies,
+                "n_fft": n_fft,
+                "seed": seed,
+            },
+            **_compare_configs(
+                lambda config: _run_campaign_config(
+                    campaign_dies,
+                    n_fft,
+                    seed,
+                    config["engine"],
+                    config["workers"],
+                ),
+                workers,
+            ),
+        }
     return {
         "schema": BENCH_ENGINES_SCHEMA,
         "cpu_count": os.cpu_count(),
         "workers": workers,
         "platform": platform.platform(),
+        "machine": platform.machine(),
         "python": platform.python_version(),
+        "numpy": np.__version__,
         "workloads": workloads,
         "all_consistent": all(
             w["all_consistent"] for w in workloads.values()
         ),
     }
+
+
+def environments_match(current: dict, baseline: dict) -> bool:
+    """Whether two artifacts came from comparable environments.
+
+    Wall times are only enforceable when the machine shape matches;
+    metric consistency and workload coverage are enforced regardless.
+    """
+    return all(
+        current.get(key) == baseline.get(key)
+        for key in ("cpu_count", "numpy", "machine", "python")
+    )
+
+
+def compare_with_baseline(
+    current: dict,
+    baseline: dict,
+    tolerance: float = BASELINE_TOLERANCE,
+    enforce_walltime: bool = True,
+) -> list[str]:
+    """Regression messages from comparing a fresh run to a baseline.
+
+    A workload regresses when any engine configuration's wall time
+    exceeds ``tolerance`` times the baseline's (plus a small additive
+    slack, so millisecond workloads cannot trip on scheduler noise),
+    when its engine metrics diverge from serial, or when a baseline
+    workload is missing from the fresh run.  Workloads whose
+    parameters differ are reported as incomparable (apples-to-oranges)
+    rather than silently skipped.  With ``enforce_walltime`` False
+    (mismatched environments — see :func:`environments_match`) the
+    wall-time comparison is skipped; the structural checks remain.
+    An empty list means the gate passes.
+    """
+    messages: list[str] = []
+    for name, base_workload in baseline.get("workloads", {}).items():
+        workload = current.get("workloads", {}).get(name)
+        if workload is None:
+            messages.append(f"{name}: workload missing from this run")
+            continue
+        if workload["params"] != base_workload["params"]:
+            messages.append(
+                f"{name}: params differ from baseline "
+                f"({workload['params']} vs {base_workload['params']}); "
+                "refresh the baseline"
+            )
+            continue
+        if not workload["all_consistent"]:
+            messages.append(f"{name}: engine metrics diverge from serial")
+        for config, base_entry in base_workload["engines"].items():
+            entry = workload["engines"].get(config)
+            if entry is None:
+                messages.append(f"{name}/{config}: configuration missing")
+                continue
+            limit = tolerance * base_entry["elapsed_s"] + BASELINE_SLACK_S
+            if enforce_walltime and entry["elapsed_s"] > limit:
+                messages.append(
+                    f"{name}/{config}: {entry['elapsed_s']:.2f} s vs "
+                    f"baseline {base_entry['elapsed_s']:.2f} s "
+                    f"(> {tolerance:.2f}x + {BASELINE_SLACK_S:.1f} s)"
+                )
+    return messages
+
+
+def _environment_summary(document: dict) -> str:
+    return (
+        f"python {document.get('python')}, numpy {document.get('numpy')}, "
+        f"{document.get('cpu_count')} CPU(s), "
+        f"{document.get('machine', '?')}, {document.get('platform')}"
+    )
+
+
+def run_baseline_gate(
+    document: dict, baseline_path: Path, tolerance: float = BASELINE_TOLERANCE
+) -> bool:
+    """Apply the --compare-baseline gate; prints a verdict, True = pass."""
+    baseline = json.loads(baseline_path.read_text())
+    print(f"baseline:  {_environment_summary(baseline)}")
+    print(f"this run:  {_environment_summary(document)}")
+    comparable = environments_match(document, baseline)
+    messages = compare_with_baseline(
+        document, baseline, tolerance, enforce_walltime=comparable
+    )
+    if not comparable:
+        print(
+            "note: environment differs from the baseline's — wall times "
+            "are reported but not enforced (structural checks still "
+            "apply); refresh the baseline from this environment to arm "
+            "the wall-time gate"
+        )
+        full = compare_with_baseline(
+            document, baseline, tolerance, enforce_walltime=True
+        )
+        for message in full:
+            if message not in messages:
+                print(f"  (info) {message}")
+    if messages:
+        print(f"BASELINE REGRESSION ({baseline_path}):")
+        for message in messages:
+            print(f"  - {message}")
+        return False
+    print(
+        f"baseline gate passed ({baseline_path}, tolerance {tolerance}x, "
+        f"wall-time {'enforced' if comparable else 'informational'})"
+    )
+    return True
 
 
 def _print_document(document: dict) -> None:
@@ -293,15 +456,67 @@ def test_engine_comparison_smoke(tmp_path):
         n_fft=1024,
         ramp_points_per_code=16,
         calibration_samples_per_code=4,
+        campaign_dies=1,
         workers=2,
     )
     assert document["all_consistent"], document
+    assert document["schema"] == BENCH_ENGINES_SCHEMA
+    assert document["numpy"]
     assert "calibrated-yield" in document["workloads"]
     assert document["workloads"]["calibrated-yield"]["all_consistent"]
+    assert "pvt-campaign" in document["workloads"]
+    assert document["workloads"]["pvt-campaign"]["all_consistent"]
     artifact = tmp_path / "BENCH_engines.json"
     artifact.write_text(json.dumps(document, indent=2))
     print()
     _print_document(document)
+    # The gate passes against the run itself and flags a doctored copy.
+    assert compare_with_baseline(document, document) == []
+    slower = json.loads(artifact.read_text())
+    entry = slower["workloads"]["pvt-campaign"]["engines"]["serial"]
+    entry["elapsed_s"] += 10.0  # well past tolerance x baseline + slack
+    assert any(
+        "pvt-campaign/serial" in message
+        for message in compare_with_baseline(slower, document)
+    )
+    # Mismatched environments demote wall-time to informational...
+    other_machine = json.loads(json.dumps(slower))
+    other_machine["cpu_count"] = 128
+    assert not environments_match(other_machine, document)
+    assert (
+        compare_with_baseline(
+            other_machine, document, enforce_walltime=False
+        )
+        == []
+    )
+
+
+def test_compare_with_baseline_param_and_consistency_guards():
+    """Param drift and metric divergence are reported, not skipped."""
+    baseline = {
+        "workloads": {
+            "w": {
+                "params": {"dies": 4},
+                "all_consistent": True,
+                "engines": {"serial": {"elapsed_s": 1.0}},
+            }
+        }
+    }
+    drifted = json.loads(json.dumps(baseline))
+    drifted["workloads"]["w"]["params"] = {"dies": 8}
+    assert any(
+        "params differ" in m for m in compare_with_baseline(drifted, baseline)
+    )
+    diverged = json.loads(json.dumps(baseline))
+    diverged["workloads"]["w"]["all_consistent"] = False
+    assert any(
+        "diverge" in m for m in compare_with_baseline(diverged, baseline)
+    )
+    assert any(
+        "missing" in m
+        for m in compare_with_baseline({"workloads": {}}, baseline)
+    )
+    assert compare_with_baseline(baseline, baseline) == []
 
 
 def main(argv=None) -> int:
@@ -323,6 +538,12 @@ def main(argv=None) -> int:
         help="pool width for the parallel configs (default: all CPUs)",
     )
     parser.add_argument(
+        "--campaign-dies",
+        type=int,
+        default=16,
+        help="die axis of the 5x3 pvt-campaign grid (default 16)",
+    )
+    parser.add_argument(
         "--skip-yield-screen",
         action="store_true",
         help="skip the (uncalibrated) yield-screen workload",
@@ -331,6 +552,32 @@ def main(argv=None) -> int:
         "--skip-calibrated-yield",
         action="store_true",
         help="skip the calibrated-yield workload",
+    )
+    parser.add_argument(
+        "--skip-campaign",
+        action="store_true",
+        help="skip the pvt-campaign workload",
+    )
+    parser.add_argument(
+        "--compare-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "fail when any workload's wall time regresses beyond the "
+            "tolerance against this baseline artifact, or when engine "
+            "metrics diverge"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=BASELINE_TOLERANCE,
+        metavar="X",
+        help=(
+            "wall-time regression factor the baseline gate tolerates "
+            f"(default {BASELINE_TOLERANCE})"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -344,15 +591,22 @@ def main(argv=None) -> int:
         n_fft=args.fft_points,
         ramp_points_per_code=args.ramp_points,
         calibration_samples_per_code=args.cal_samples,
+        campaign_dies=args.campaign_dies,
         seed=args.seed,
         workers=args.workers,
         include_yield_screen=not args.skip_yield_screen,
         include_calibrated_yield=not args.skip_calibrated_yield,
+        include_campaign=not args.skip_campaign,
     )
     args.out.write_text(json.dumps(document, indent=2))
     print(f"wrote {args.out}")
     _print_document(document)
-    return 0 if document["all_consistent"] else 1
+    gate_passed = True
+    if args.compare_baseline is not None:
+        gate_passed = run_baseline_gate(
+            document, args.compare_baseline, args.baseline_tolerance
+        )
+    return 0 if document["all_consistent"] and gate_passed else 1
 
 
 if __name__ == "__main__":

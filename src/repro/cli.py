@@ -8,6 +8,8 @@ Usage::
     repro all --workers 4
     repro mc --dies 16 --workers 4 --json out.json
     repro mc --dies 32 --engine vectorized --calibrate
+    repro campaign --dies 16 --ledger signoff.jsonl
+    repro campaign --dies 16 --ledger signoff.jsonl --resume
 
 (``python -m repro`` is equivalent to the installed ``repro`` script.)
 """
@@ -25,7 +27,13 @@ from repro.experiments.registry import (
     run_experiment_batch,
 )
 from repro.runtime.batch import BatchProgress
+from repro.runtime.campaign import (
+    SIGNOFF_TEMPERATURES_C,
+    CampaignSpec,
+    run_campaign,
+)
 from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
+from repro.technology.corners import Corner
 from repro.version import PAPER, __version__
 
 
@@ -35,8 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=f"Reproduction experiments for: {PAPER} (repro {__version__})",
         epilog=(
-            "Monte Carlo yield analysis runs as a separate subcommand: "
-            "see 'repro mc --help'."
+            "Monte Carlo yield analysis and PVT sign-off campaigns run "
+            "as separate subcommands: see 'repro mc --help' and "
+            "'repro campaign --help'."
         ),
     )
     parser.add_argument(
@@ -209,6 +218,231 @@ def build_mc_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """The ``repro campaign`` (PVT sign-off) argument parser."""
+    defaults = CampaignSpec()
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description=(
+            "Corner-batched PVT sign-off campaign: every requested "
+            "process corner x temperature x die is one grid cell, "
+            "measured dynamically (SNR/SNDR/SFDR/ENOB) and rolled up "
+            "into a min/typ/max sign-off datasheet.  Completed cells "
+            "checkpoint to a JSONL run ledger, so an interrupted "
+            "campaign resumes without recomputation (--ledger/--resume)."
+        ),
+    )
+    parser.add_argument(
+        "--corners",
+        default="all",
+        metavar="LIST",
+        help=(
+            "comma-separated corner list (tt,ff,ss,fs,sf) or 'all' "
+            "(default all)"
+        ),
+    )
+    parser.add_argument(
+        "--temps",
+        default=",".join(f"{t:g}" for t in SIGNOFF_TEMPERATURES_C),
+        metavar="LIST",
+        help=(
+            "comma-separated junction temperatures [C]; use the "
+            "--temps=-40,27,125 form for values starting with a minus "
+            "(default %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--dies",
+        type=int,
+        default=defaults.n_dies,
+        metavar="N",
+        help=(
+            "dies measured at every operating point "
+            f"(default {defaults.n_dies})"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=defaults.seed,
+        help=(
+            "root seed the per-die seeds spawn from; replays the "
+            f"identical grid (default {defaults.seed})"
+        ),
+    )
+    parser.add_argument(
+        "--die-seeds",
+        default=None,
+        metavar="LIST",
+        help=(
+            "explicit comma-separated per-die seeds (overrides --seed "
+            "derivation; must match --dies)"
+        ),
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=defaults.conversion_rate,
+        metavar="HZ",
+        help=f"conversion rate [Hz] (default {defaults.conversion_rate:.0f})",
+    )
+    parser.add_argument(
+        "--fin",
+        type=float,
+        default=defaults.input_frequency,
+        metavar="HZ",
+        help=(
+            "test-tone target frequency [Hz] "
+            f"(default {defaults.input_frequency:.0f})"
+        ),
+    )
+    parser.add_argument(
+        "--fft-points",
+        type=int,
+        default=defaults.n_samples,
+        metavar="N",
+        help=(
+            "coherent capture length per cell "
+            f"(default {defaults.n_samples})"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("pool", "vectorized"),
+        default="vectorized",
+        help=(
+            "execution engine: 'pool' measures one cell per task "
+            "through the serial DynamicTestbench, 'vectorized' "
+            "converts cell chunks as single (cells, samples) NumPy "
+            "batches; per-cell metrics are bit-exact across engines "
+            "(default vectorized)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cells per vectorized batch (vectorized engine only; "
+            "default: split across workers, cache-bounded)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; identical metrics for any value (default 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tasks per dispatch chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSONL run ledger; completed cells append as they finish "
+            "(checkpointing)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse completed cells from an existing --ledger "
+            "(fingerprint-checked) instead of starting fresh"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the campaign report document to PATH",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-task progress to stderr",
+    )
+    return parser
+
+
+def _parse_corners(text: str) -> tuple[Corner, ...]:
+    if text.strip().lower() == "all":
+        return tuple(Corner)
+    try:
+        return tuple(
+            Corner(token.strip().lower()) for token in text.split(",") if token.strip()
+        )
+    except ValueError as error:
+        raise ReproError(f"unknown corner in --corners: {error}") from None
+
+
+def _parse_floats(text: str, flag: str) -> tuple[float, ...]:
+    try:
+        return tuple(
+            float(token) for token in text.split(",") if token.strip()
+        )
+    except ValueError:
+        raise ReproError(f"{flag} must be a comma-separated number list") from None
+
+
+def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
+    """Run the ``campaign`` subcommand; returns a process exit code."""
+    args = build_campaign_parser().parse_args(argv)
+    if args.resume and args.ledger is None:
+        raise ReproError("--resume needs --ledger")
+    die_seeds = None
+    if args.die_seeds is not None:
+        try:
+            die_seeds = tuple(
+                int(token)
+                for token in args.die_seeds.split(",")
+                if token.strip()
+            )
+        except ValueError:
+            raise ReproError(
+                "--die-seeds must be a comma-separated integer list"
+            ) from None
+    spec = CampaignSpec(
+        corners=_parse_corners(args.corners),
+        temperatures_c=_parse_floats(args.temps, "--temps"),
+        n_dies=args.dies,
+        seed=args.seed,
+        die_seeds=die_seeds,
+        conversion_rate=args.rate,
+        input_frequency=args.fin,
+        n_samples=args.fft_points,
+    )
+    report = run_campaign(
+        spec,
+        engine=args.engine,
+        ledger_path=args.ledger,
+        resume=args.resume,
+        cell_chunk=args.cell_chunk,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        progress=_stderr_progress if args.progress else None,
+    )
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(report.to_json())
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    return 1 if report.failures else 0
+
+
 def _stderr_progress(update: BatchProgress) -> None:
     print(
         f"\r{update.done}/{update.total} tasks "
@@ -318,6 +552,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if arguments and arguments[0] == "mc":
             return run_mc(arguments[1:])
+        if arguments and arguments[0] == "campaign":
+            return run_campaign_cli(arguments[1:])
         return run_experiments(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -59,7 +59,9 @@ class SwitchModel(abc.ABC):
         """On-resistance vs node voltage [ohm]; inf where non-conducting."""
         conductance = self.conductance(node_voltage)
         with np.errstate(divide="ignore"):
-            return np.where(conductance > 0, 1.0 / np.maximum(conductance, 1e-30), np.inf)
+            return np.where(
+                conductance > 0, 1.0 / np.maximum(conductance, 1e-30), np.inf
+            )
 
     @abc.abstractmethod
     def parasitic_capacitance(self, node_voltage: np.ndarray) -> np.ndarray:
@@ -330,7 +332,13 @@ class BootstrappedSwitch(SwitchModel):
         tech = self.operating_point.technology
         # The bootstrap capacitor and its switches add fixed parasitics
         # (~the device's own again).
-        c0 = 2.0 * _PARASITIC_FRACTION * tech.oxide_capacitance * self.width * self.length
+        c0 = (
+            2.0
+            * _PARASITIC_FRACTION
+            * tech.oxide_capacitance
+            * self.width
+            * self.length
+        )
         return _junction_capacitance(c0, v)
 
     def charge_injection(self, node_voltage: np.ndarray) -> np.ndarray:

@@ -10,6 +10,7 @@ converter as an IP block) would actually ship.
 from __future__ import annotations
 
 import math
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,26 +59,77 @@ class Datasheet:
 
     Attributes:
         lines: the electrical-characteristics rows.
-        n_dies: batch size behind the statistics.
+        n_dies: population size behind the statistics (dies, or PVT
+            campaign cells — see ``population``).
         conversion_rate: characterization rate [Hz].
+        conditions: measurement-conditions tail of the title.
+        population: what the statistics range over ("dies" for a
+            nominal-point batch, "cells" for a PVT campaign grid).
     """
 
     lines: tuple[DatasheetLine, ...]
     n_dies: int
     conversion_rate: float
+    conditions: str = "f_in = 10 MHz, 2 Vp-p, TT/27C/1.8V"
+    population: str = "dies"
 
     def render(self) -> str:
         """Datasheet-style text table."""
         title = (
-            f"Electrical characteristics — {self.n_dies} dies, "
-            f"{self.conversion_rate / 1e6:.0f} MS/s, f_in = 10 MHz, "
-            "2 Vp-p, TT/27C/1.8V"
+            f"Electrical characteristics — {self.n_dies} "
+            f"{self.population}, {self.conversion_rate / 1e6:.0f} MS/s, "
+            f"{self.conditions}"
         )
         return format_table(
             ("parameter", "min", "typ", "max", "unit"),
             [line.cells() for line in self.lines],
             title=title,
         )
+
+
+def min_typ_max(values) -> tuple[float, float, float]:
+    """The three datasheet columns of one measured parameter.
+
+    ``typ`` is the population median — the value a datasheet quotes as
+    typical — while ``min``/``max`` are the observed extremes.
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ConfigurationError("min/typ/max needs at least one value")
+    return (ordered[0], float(np.median(ordered)), ordered[-1])
+
+
+def signoff_datasheet(
+    parameters: Mapping[str, tuple[str, Sequence[float]]],
+    n_population: int,
+    conversion_rate: float,
+    conditions: str,
+    population: str = "cells",
+) -> Datasheet:
+    """Min/typ/max sign-off table over an arbitrary population.
+
+    The aggregation layer PVT campaigns (and any other population-scale
+    run) share with :func:`characterize`: each parameter's measured
+    values collapse to one min/typ/max row.
+
+    Args:
+        parameters: ordered ``name -> (unit, values)`` mapping.
+        n_population: population size quoted in the title.
+        conversion_rate: measurement rate [Hz].
+        conditions: measurement-conditions tail of the title.
+        population: what the statistics range over.
+    """
+    lines = tuple(
+        DatasheetLine(name, unit, *min_typ_max(values))
+        for name, (unit, values) in parameters.items()
+    )
+    return Datasheet(
+        lines=lines,
+        n_dies=n_population,
+        conversion_rate=conversion_rate,
+        conditions=conditions,
+        population=population,
+    )
 
 
 def characterize(
@@ -122,10 +174,7 @@ def characterize(
     area = Floorplan(config).total_area_mm2
     nan = float("nan")
 
-    def stats(values, better_high=True):
-        ordered = sorted(values)
-        typical = float(np.median(ordered))
-        return (ordered[0], typical, ordered[-1])
+    stats = min_typ_max
 
     lines = (
         DatasheetLine("Resolution", "bit", nan, config.resolution, nan),

@@ -52,13 +52,25 @@ def run(quick: bool = False) -> ExperimentResult:
 
     rows = (
         ("Technology", "0.18um digital CMOS", "0.18um digital CMOS (model)"),
-        ("Nominal supply voltage", "1.8 V", f"{config.technology.supply_voltage:.1f} V"),
+        (
+            "Nominal supply voltage",
+            "1.8 V",
+            f"{config.technology.supply_voltage:.1f} V",
+        ),
         ("Resolution", "12 bit", f"{config.resolution} bit"),
         ("Full-scale analog input", "2 Vp-p", f"{2 * config.vref:.0f} Vp-p"),
         ("Area", "0.86 mm^2", f"{area * 1e6:.2f} mm^2"),
         ("Analog power consumption", "97 mW", f"{power * 1e3:.1f} mW"),
-        ("DNL", "+-1.2 LSB", f"{linearity.dnl_min:+.2f}/{linearity.dnl_max:+.2f} LSB"),
-        ("INL", "-1.5/+1 LSB", f"{linearity.inl_min:+.2f}/{linearity.inl_max:+.2f} LSB"),
+        (
+            "DNL",
+            "+-1.2 LSB",
+            f"{linearity.dnl_min:+.2f}/{linearity.dnl_max:+.2f} LSB",
+        ),
+        (
+            "INL",
+            "-1.5/+1 LSB",
+            f"{linearity.inl_min:+.2f}/{linearity.inl_max:+.2f} LSB",
+        ),
         ("SNR (fin=10MHz)", "67.1 dB", f"{metrics.snr_db:.1f} dB"),
         ("SNDR (fin=10MHz)", "64.2 dB", f"{metrics.sndr_db:.1f} dB"),
         ("SFDR (fin=10MHz)", "69.4 dB", f"{metrics.sfdr_db:.1f} dB"),

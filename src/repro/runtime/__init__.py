@@ -8,6 +8,9 @@ The runtime is the scaling layer every fan-out workload goes through:
   seeds, invariant to chunking and worker count.
 * :mod:`repro.runtime.montecarlo` — the Monte Carlo yield workload
   (die measurement tasks, yield reports) built on the runner.
+* :mod:`repro.runtime.campaign` — corner-batched PVT sign-off
+  campaigns with resumable JSONL run ledgers, built on the runner and
+  the vectorized engine.
 """
 
 from repro.runtime.batch import (
@@ -15,6 +18,14 @@ from repro.runtime.batch import (
     BatchResult,
     BatchRunner,
     TaskOutcome,
+)
+from repro.runtime.campaign import (
+    CampaignCell,
+    CampaignLedger,
+    CampaignReport,
+    CampaignSpec,
+    CellMetrics,
+    run_campaign,
 )
 from repro.runtime.montecarlo import (
     DieMetrics,
@@ -30,6 +41,11 @@ __all__ = [
     "BatchProgress",
     "BatchResult",
     "BatchRunner",
+    "CampaignCell",
+    "CampaignLedger",
+    "CampaignReport",
+    "CampaignSpec",
+    "CellMetrics",
     "DieMetrics",
     "DieTask",
     "TaskOutcome",
@@ -37,6 +53,7 @@ __all__ = [
     "YieldSpec",
     "derive_seeds",
     "measure_die",
+    "run_campaign",
     "run_yield_analysis",
     "spawn_sequences",
 ]

@@ -273,6 +273,64 @@ def json_safe(value: Any) -> Any:
     return str(value)
 
 
+def flatten_chunk_batch(
+    batch: BatchResult,
+    chunks: Sequence[Sequence[Any]],
+    index_of: Callable[[Any], int],
+    seed_of: Callable[[Any], int | None] = lambda item: None,
+) -> BatchResult:
+    """Per-item outcomes from a batch whose tasks were item chunks.
+
+    The vectorized engines dispatch *chunks* (a die chunk, a campaign
+    cell chunk) as single tasks whose values are per-item tuples; report
+    layers want one :class:`TaskOutcome` per item regardless of engine.
+    A crashed chunk marks each of its items failed with the chunk's
+    error; a successful chunk contributes one outcome per item, with the
+    chunk wall time amortized evenly.
+
+    Args:
+        batch: the per-chunk batch result.
+        chunks: the dispatched chunks, in task order; ``chunks[i]`` must
+            be the items behind ``batch.outcomes[i]``, whose value (on
+            success) is the per-item value tuple in the same order.
+        index_of: maps an item to its position in the flattened batch.
+        seed_of: maps an item to the seed recorded on its outcome.
+    """
+    outcomes: list[TaskOutcome] = []
+    for chunk_outcome, chunk in zip(batch.outcomes, chunks):
+        elapsed = chunk_outcome.elapsed_s / len(chunk)
+        for position, item in enumerate(chunk):
+            if chunk_outcome.ok:
+                outcomes.append(
+                    TaskOutcome(
+                        index=index_of(item),
+                        value=chunk_outcome.value[position],
+                        seed=seed_of(item),
+                        elapsed_s=elapsed,
+                    )
+                )
+            else:
+                outcomes.append(
+                    TaskOutcome(
+                        index=index_of(item),
+                        seed=seed_of(item),
+                        error=chunk_outcome.error,
+                        error_type=chunk_outcome.error_type,
+                        traceback=chunk_outcome.traceback,
+                        exception=chunk_outcome.exception,
+                        elapsed_s=elapsed,
+                    )
+                )
+    outcomes.sort(key=lambda outcome: outcome.index)
+    return BatchResult(
+        outcomes=tuple(outcomes),
+        workers=batch.workers,
+        chunk_size=batch.chunk_size,
+        elapsed_s=batch.elapsed_s,
+        root_seed=batch.root_seed,
+    )
+
+
 def _run_task(
     payload: tuple[int, Callable[..., Any], Any, int | None],
     in_process: bool = False,

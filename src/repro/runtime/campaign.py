@@ -1,0 +1,752 @@
+"""Corner-batched PVT sign-off campaigns with resumable run ledgers.
+
+An IP-block sign-off is a grid: every process corner x every
+temperature extreme x a die population, each cell a full dynamic
+characterization.  The serial shape (the legacy ``ext-corners`` loop)
+pays one :class:`~repro.evaluation.testbench.DynamicTestbench` — and
+all its per-die Python dispatch — per cell.  This module makes the grid
+a first-class batch workload:
+
+* **Planning** — :class:`CampaignSpec` enumerates the (points x dies)
+  grid via :func:`repro.technology.corners.pvt_grid`; each
+  :class:`CampaignCell` is one (corner, temperature, die) triple with a
+  ``SeedSequence``-derived die seed.
+* **Execution** — cells dispatch through
+  :class:`~repro.runtime.batch.BatchRunner` (composable with
+  ``workers``); the vectorized engine converts whole cell chunks as
+  single :class:`~repro.core.adc_array.AdcArray` passes, mixing corners
+  and temperatures freely inside one ``(cells, samples)`` block.  Each
+  cell's noise streams derive from its die seed alone
+  (:class:`repro.streams.DieStreams`), so a cell's codes are bit-exact
+  with the serial :class:`DynamicTestbench` on the same (point, seed) —
+  regardless of engine, chunking or worker count.
+* **Checkpointing** — completed cells append to a JSONL run ledger as
+  they finish; an interrupted campaign resumes from the ledger and
+  recomputes nothing, and the resumed report is identical to a
+  straight-through run.
+* **Aggregation** — the grid collapses to a min/typ/max sign-off
+  datasheet via :func:`repro.evaluation.datasheet.signoff_datasheet`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.adc_array import AdcArray
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+from repro.evaluation.datasheet import Datasheet, signoff_datasheet
+from repro.evaluation.reporting import format_table
+from repro.evaluation.testbench import DynamicTestbench
+from repro.runtime.batch import (
+    BatchResult,
+    BatchRunner,
+    ProgressCallback,
+    TaskOutcome,
+    flatten_chunk_batch,
+    json_safe,
+)
+from repro.runtime.seeding import derive_seeds
+from repro.signal.generators import SineGenerator
+from repro.signal.spectrum import SpectrumAnalyzer
+from repro.technology.corners import Corner, OperatingPoint, pvt_grid
+from repro.technology.montecarlo import ProcessSample
+
+#: Schema tag of the JSONL run ledger.
+CAMPAIGN_LEDGER_SCHEMA = "repro.campaign-ledger/v1"
+
+#: Default cells per vectorized chunk: the same cache-residency
+#: trade-off as the Monte Carlo die chunk (the records are the same
+#: shape — D rows x S samples; 8 measured best at sign-off record
+#: lengths of 2048-4096 samples on the benchmark workloads).
+_DEFAULT_CELL_CHUNK = 8
+
+#: The industrial sign-off temperature set.
+SIGNOFF_TEMPERATURES_C = (-40.0, 27.0, 125.0)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The (corners x temperatures x dies) grid and its bench settings.
+
+    Attributes:
+        corners: process corners, grid-outermost.
+        temperatures_c: junction temperatures [Celsius].
+        n_dies: dies measured at every operating point.
+        seed: root seed the per-die seeds derive from
+            (``SeedSequence.spawn`` via :mod:`repro.runtime.seeding`,
+            so die *d* is independent of the grid shape).
+        die_seeds: explicit per-die seeds; overrides ``seed`` (the
+            legacy single-die corner table pins ``(1,)``).
+        supply_scale: shared supply multiplier for every point.
+        conversion_rate: f_CR every cell is clocked at [Hz].
+        input_frequency: test-tone target frequency [Hz].
+        n_samples: coherent FFT record length per cell.
+        amplitude_fraction: stimulus amplitude relative to full scale.
+    """
+
+    corners: tuple[Corner, ...] = tuple(Corner)
+    temperatures_c: tuple[float, ...] = SIGNOFF_TEMPERATURES_C
+    n_dies: int = 1
+    seed: int = 2026
+    die_seeds: tuple[int, ...] | None = None
+    supply_scale: float = 1.0
+    conversion_rate: float = 110e6
+    input_frequency: float = 10e6
+    n_samples: int = 4096
+    amplitude_fraction: float = 0.995
+
+    def __post_init__(self) -> None:
+        if not self.corners:
+            raise ConfigurationError("campaign needs at least one corner")
+        if not self.temperatures_c:
+            raise ConfigurationError(
+                "campaign needs at least one temperature"
+            )
+        if self.n_dies < 1:
+            raise ConfigurationError("campaign needs at least one die")
+        if self.die_seeds is not None and len(self.die_seeds) != self.n_dies:
+            raise ConfigurationError(
+                f"die_seeds must have one entry per die ({self.n_dies}), "
+                f"got {len(self.die_seeds)}"
+            )
+        if self.conversion_rate <= 0 or self.input_frequency <= 0:
+            raise ConfigurationError("rate and frequency must be positive")
+        if self.n_samples < 256:
+            raise ConfigurationError("campaign needs >= 256 samples per cell")
+        if not 0 < self.amplitude_fraction <= 1:
+            raise ConfigurationError("amplitude fraction must be in (0, 1]")
+
+    @property
+    def n_points(self) -> int:
+        return len(self.corners) * len(self.temperatures_c)
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_points * self.n_dies
+
+    def resolved_die_seeds(self) -> tuple[int, ...]:
+        """The per-die seeds (explicit, or spawned from the root)."""
+        if self.die_seeds is not None:
+            return self.die_seeds
+        return tuple(derive_seeds(self.seed, self.n_dies))
+
+    def points(self, technology=None) -> list[OperatingPoint]:
+        """The corner-major operating-point enumeration of the grid."""
+        return pvt_grid(
+            technology=technology,
+            corners=self.corners,
+            temperatures_c=self.temperatures_c,
+            supply_scale=self.supply_scale,
+        )
+
+    def cells(self) -> list[CampaignCell]:
+        """The flattened grid, point-major then die-major.
+
+        Cell order derives from :meth:`points` — the same
+        :func:`~repro.technology.corners.pvt_grid` enumeration the
+        stacked planning constructors
+        (:meth:`~repro.technology.montecarlo.ProcessSampleArray.from_grid`)
+        use — so every grid consumer shares one order authority.
+        """
+        seeds = self.resolved_die_seeds()
+        return [
+            CampaignCell(
+                index=point_index * self.n_dies + die_index,
+                corner=point.corner,
+                temperature_c=point.temperature_c,
+                die_index=die_index,
+                die_seed=die_seed,
+                supply_scale=self.supply_scale,
+            )
+            for point_index, point in enumerate(self.points())
+            for die_index, die_seed in enumerate(seeds)
+        ]
+
+    def fingerprint(self, config: AdcConfig) -> dict:
+        """Everything that determines a cell's metrics, JSON-ready.
+
+        The ledger stores this so a resume against a different grid,
+        bench setting or converter configuration is rejected instead of
+        silently mixing incompatible cells.  Engine, chunking and
+        worker count are deliberately absent — they do not change the
+        results, so a campaign may resume on a different execution
+        configuration.
+        """
+        spec = dataclasses.asdict(self)
+        spec["die_seeds"] = list(self.resolved_die_seeds())
+        del spec["seed"]
+        return {
+            "spec": json_safe(spec),
+            "config": json_safe(dataclasses.asdict(config)),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (corner, temperature, die) grid cell.
+
+    Attributes:
+        index: position in the flattened grid (point-major).
+        corner: the cell's process corner.
+        temperature_c: the cell's junction temperature [Celsius].
+        die_index: die position within the cell's operating point.
+        die_seed: the die's mismatch/noise seed (replays the cell).
+        supply_scale: supply multiplier of the cell's point.
+    """
+
+    index: int
+    corner: Corner
+    temperature_c: float
+    die_index: int
+    die_seed: int
+    supply_scale: float = 1.0
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.corner.value}/{self.temperature_c:g}C/"
+            f"die{self.die_index}"
+        )
+
+    def operating_point(self, technology) -> OperatingPoint:
+        return OperatingPoint(
+            technology=technology,
+            corner=self.corner,
+            temperature_c=self.temperature_c,
+            supply_scale=self.supply_scale,
+        )
+
+    def process_sample(self, technology) -> ProcessSample:
+        """The cell as a die realization for the batched engine."""
+        return ProcessSample(
+            operating_point=self.operating_point(technology),
+            seed=self.die_seed,
+            index=self.index,
+        )
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """Measured dynamic metrics of one campaign cell.
+
+    Engine-independent by the per-die stream contract: the same cell
+    yields the same record from the serial testbench and from any
+    vectorized chunk it lands in.
+    """
+
+    index: int
+    corner: str
+    temperature_c: float
+    die_index: int
+    seed: int
+    snr_db: float
+    sndr_db: float
+    sfdr_db: float
+    enob_bits: float
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.corner}/{self.temperature_c:g}C/die{self.die_index}"
+
+    def to_metrics(self) -> dict[str, float]:
+        """Numeric summary fields (feeds ``BatchResult.summary``)."""
+        return {
+            "snr_db": self.snr_db,
+            "sndr_db": self.sndr_db,
+            "sfdr_db": self.sfdr_db,
+            "enob_bits": self.enob_bits,
+        }
+
+    def to_record(self) -> dict:
+        """JSON-ready ledger record."""
+        return json_safe(dataclasses.asdict(self))
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CellMetrics":
+        return cls(
+            index=int(record["index"]),
+            corner=str(record["corner"]),
+            temperature_c=float(record["temperature_c"]),
+            die_index=int(record["die_index"]),
+            seed=int(record["seed"]),
+            snr_db=float(record["snr_db"]),
+            sndr_db=float(record["sndr_db"]),
+            sfdr_db=float(record["sfdr_db"]),
+            enob_bits=float(record["enob_bits"]),
+        )
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One worker's serial task: a single cell through the testbench."""
+
+    cell: CampaignCell
+    config: AdcConfig
+    spec: CampaignSpec
+
+
+@dataclass(frozen=True)
+class CellChunkTask:
+    """One worker's vectorized task: a cell chunk as one AdcArray pass."""
+
+    cells: tuple[CampaignCell, ...]
+    config: AdcConfig
+    spec: CampaignSpec
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ConfigurationError("cell chunk must not be empty")
+
+
+def _cell_metrics(cell: CampaignCell, metrics) -> CellMetrics:
+    return CellMetrics(
+        index=cell.index,
+        corner=cell.corner.value,
+        temperature_c=cell.temperature_c,
+        die_index=cell.die_index,
+        seed=cell.die_seed,
+        snr_db=metrics.snr_db,
+        sndr_db=metrics.sndr_db,
+        sfdr_db=metrics.sfdr_db,
+        enob_bits=metrics.enob_bits,
+    )
+
+
+def measure_cell(task: CellTask) -> CellMetrics:
+    """Measure one cell with the serial :class:`DynamicTestbench`.
+
+    The reference implementation the vectorized engine is bit-exact
+    against; module-level and dependent only on ``task`` so it can run
+    in any worker of any partition.
+    """
+    spec = task.spec
+    bench = DynamicTestbench(
+        task.config,
+        n_samples=spec.n_samples,
+        amplitude_fraction=spec.amplitude_fraction,
+        die_seed=task.cell.die_seed,
+        operating_point=task.cell.operating_point(task.config.technology),
+    )
+    metrics = bench.measure(spec.conversion_rate, spec.input_frequency)
+    return _cell_metrics(task.cell, metrics)
+
+
+def measure_cell_chunk(task: CellChunkTask) -> tuple[CellMetrics, ...]:
+    """Measure a cell chunk in one die-batched pass.
+
+    The chunk's cells — mixed corners, temperatures and dies — convert
+    as a single :class:`~repro.core.adc_array.AdcArray` of
+    ``(cells, samples)`` blocks, then one batched FFT produces the
+    per-cell metrics.  Cell-for-cell bit-exact with
+    :func:`measure_cell`: each cell draws only from its own
+    seed-derived streams, and the tone/analyzer settings mirror
+    :meth:`DynamicTestbench.measure` exactly.
+    """
+    spec = task.spec
+    config = task.config
+    samples = [cell.process_sample(config.technology) for cell in task.cells]
+    adc = AdcArray(config, spec.conversion_rate, samples)
+    tone = SineGenerator.coherent(
+        spec.input_frequency,
+        spec.conversion_rate,
+        spec.n_samples,
+        amplitude=spec.amplitude_fraction * config.vref,
+    )
+    capture = adc.convert(tone, spec.n_samples)
+    analyzer = SpectrumAnalyzer(full_scale=config.n_codes / 2.0)
+    spectra = analyzer.analyze_batch(capture.codes, spec.conversion_rate)
+    return tuple(
+        _cell_metrics(cell, metrics)
+        for cell, metrics in zip(task.cells, spectra)
+    )
+
+
+class CampaignLedger:
+    """JSONL checkpoint file of completed campaign cells.
+
+    Line 1 is a header carrying the schema tag and the campaign
+    fingerprint; every further line is one completed cell's record.
+    Appends are flushed per write, so a killed campaign loses at most
+    the line being written — and a truncated trailing line is tolerated
+    on load (the cell simply re-runs).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def start(self, fingerprint: dict) -> None:
+        """Begin a fresh ledger (truncates any previous run)."""
+        header = {
+            "schema": CAMPAIGN_LEDGER_SCHEMA,
+            "fingerprint": fingerprint,
+        }
+        self.path.write_text(json.dumps(header) + "\n")
+
+    def load(self, fingerprint: dict) -> dict[int, CellMetrics]:
+        """Completed cells of a previous run with matching fingerprint.
+
+        Raises:
+            ConfigurationError: when the ledger belongs to a different
+                campaign (schema or fingerprint mismatch) or the header
+                is unreadable.
+        """
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            raise ConfigurationError(f"ledger {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"ledger {self.path} has an unreadable header: {error}"
+            ) from None
+        if header.get("schema") != CAMPAIGN_LEDGER_SCHEMA:
+            raise ConfigurationError(
+                f"ledger {self.path} has schema "
+                f"{header.get('schema')!r}, expected "
+                f"{CAMPAIGN_LEDGER_SCHEMA!r}"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise ConfigurationError(
+                f"ledger {self.path} was written by a different campaign "
+                "(grid, bench settings or converter configuration "
+                "differ); refusing to resume"
+            )
+        completed: dict[int, CellMetrics] = {}
+        for position, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                metrics = CellMetrics.from_record(record)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                if position == len(lines):
+                    # Interrupted mid-append: drop the torn tail, the
+                    # cell re-runs on resume.
+                    continue
+                raise ConfigurationError(
+                    f"ledger {self.path} line {position} is corrupt"
+                ) from None
+            completed[metrics.index] = metrics
+        return completed
+
+    def record(self, cells: Iterable[CellMetrics]) -> None:
+        """Append completed cells (one JSON line each, flushed)."""
+        with self.path.open("a") as handle:
+            for cell in cells:
+                handle.write(json.dumps(cell.to_record()) + "\n")
+            handle.flush()
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """A sign-off campaign run: per-cell metrics plus the rollup.
+
+    Attributes:
+        spec: the grid and bench settings.
+        cells: completed cells, in grid order (ledger-resumed cells
+            merged with freshly measured ones).
+        batch: the underlying batch result of the *fresh* cells.
+        engine: execution engine ("pool" or "vectorized"); per-cell
+            metrics are engine-independent.
+        resumed_cells: how many cells came from the ledger.
+    """
+
+    spec: CampaignSpec
+    cells: tuple[CellMetrics, ...]
+    batch: BatchResult
+    engine: str = "vectorized"
+    resumed_cells: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        return self.spec.n_cells
+
+    @property
+    def complete(self) -> bool:
+        return len(self.cells) == self.n_cells and not self.batch.failures
+
+    @property
+    def failures(self) -> tuple[TaskOutcome, ...]:
+        return self.batch.failures
+
+    def worst_cell(self) -> CellMetrics:
+        """The grid's worst cell by SNDR — the sign-off limiter."""
+        if not self.cells:
+            raise ConfigurationError("campaign measured no cells")
+        return min(self.cells, key=lambda cell: cell.sndr_db)
+
+    def signoff(self) -> Datasheet:
+        """Min/typ/max electrical characteristics over the whole grid."""
+        if not self.cells:
+            raise ConfigurationError("campaign measured no cells")
+        fin_mhz = self.spec.input_frequency / 1e6
+        conditions = (
+            f"{len(self.spec.corners)} corners x "
+            f"{len(self.spec.temperatures_c)} temperatures x "
+            f"{self.spec.n_dies} dies, f_in = {fin_mhz:.0f} MHz"
+        )
+        return signoff_datasheet(
+            {
+                f"SNR (f_in={fin_mhz:.0f}MHz)": (
+                    "dB",
+                    [c.snr_db for c in self.cells],
+                ),
+                f"SNDR (f_in={fin_mhz:.0f}MHz)": (
+                    "dB",
+                    [c.sndr_db for c in self.cells],
+                ),
+                f"SFDR (f_in={fin_mhz:.0f}MHz)": (
+                    "dB",
+                    [c.sfdr_db for c in self.cells],
+                ),
+                "ENOB": ("bit", [c.enob_bits for c in self.cells]),
+            },
+            n_population=len(self.cells),
+            conversion_rate=self.spec.conversion_rate,
+            conditions=conditions,
+            population="cells",
+        )
+
+    def corner_rows(self) -> list[tuple]:
+        """Per-point rollup rows: worst die at every (corner, T)."""
+        rows = []
+        for corner in self.spec.corners:
+            for temperature in self.spec.temperatures_c:
+                group = [
+                    cell
+                    for cell in self.cells
+                    if cell.corner == corner.value
+                    and cell.temperature_c == float(temperature)
+                ]
+                if not group:
+                    continue
+                worst = min(group, key=lambda cell: cell.sndr_db)
+                rows.append(
+                    (
+                        corner.value.upper(),
+                        f"{temperature:g}",
+                        f"{min(c.snr_db for c in group):.1f}",
+                        f"{worst.sndr_db:.1f}",
+                        f"{min(c.enob_bits for c in group):.2f}",
+                    )
+                )
+        return rows
+
+    def render(self) -> str:
+        """Full textual sign-off report."""
+        lines = [
+            format_table(
+                ("corner", "T [C]", "SNR [dB]", "SNDR [dB]", "ENOB"),
+                self.corner_rows(),
+                title=(
+                    f"--- PVT campaign: {len(self.cells)}/{self.n_cells} "
+                    f"cells at "
+                    f"{self.spec.conversion_rate / 1e6:.0f} MS/s "
+                    f"(worst die per point) ---"
+                ),
+            ),
+            "",
+            self.signoff().render(),
+            "",
+        ]
+        worst = self.worst_cell()
+        lines.append(
+            f"worst cell: {worst.cell_id} at {worst.sndr_db:.1f} dB SNDR "
+            f"({worst.enob_bits:.2f} ENOB)"
+        )
+        for failure in self.batch.failures:
+            lines.append(
+                f"cell {failure.index} CRASHED: "
+                f"{failure.error_type}: {failure.error}"
+            )
+        resumed = (
+            f" {self.resumed_cells} cell(s) resumed from ledger,"
+            if self.resumed_cells
+            else ""
+        )
+        lines.append(
+            f"campaign: {self.engine} engine,{resumed} "
+            f"{self.batch.workers} worker(s), "
+            f"{self.batch.elapsed_s:.2f} s"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CAMPAIGN_LEDGER_SCHEMA,
+            "engine": self.engine,
+            "spec": json_safe(dataclasses.asdict(self.spec)),
+            "n_cells": self.n_cells,
+            "n_complete": len(self.cells),
+            "resumed_cells": self.resumed_cells,
+            "n_failures": len(self.batch.failures),
+            "elapsed_s": self.batch.elapsed_s,
+            "workers": self.batch.workers,
+            "cells": [cell.to_record() for cell in self.cells],
+            "signoff": {
+                line.parameter: {
+                    "unit": line.unit,
+                    "min": line.minimum,
+                    "typ": line.typical,
+                    "max": line.maximum,
+                }
+                for line in self.signoff().lines
+            }
+            if self.cells
+            else {},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _chunk_cells(
+    cells: Sequence[CampaignCell], cell_chunk: int
+) -> list[tuple[CampaignCell, ...]]:
+    return [
+        tuple(cells[low : low + cell_chunk])
+        for low in range(0, len(cells), cell_chunk)
+    ]
+
+
+def run_campaign(
+    spec: CampaignSpec | None = None,
+    config: AdcConfig | None = None,
+    engine: str = "vectorized",
+    ledger_path: str | Path | None = None,
+    resume: bool = False,
+    cell_chunk: int | None = None,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+    mp_context: str | None = None,
+) -> CampaignReport:
+    """Run (or resume) a PVT sign-off campaign.
+
+    Args:
+        spec: the grid and bench settings (default sign-off grid).
+        config: converter configuration (paper default when omitted).
+        engine: ``"pool"`` measures one cell per task through the
+            serial :class:`DynamicTestbench`; ``"vectorized"``
+            converts cell chunks as single
+            :class:`~repro.core.adc_array.AdcArray` batches.  Per-cell
+            metrics are bit-exact across engines, chunkings and worker
+            counts.
+        ledger_path: JSONL checkpoint file.  Completed cells append as
+            they finish; with ``resume`` an existing ledger's cells are
+            reused instead of recomputed.  Omitted: no checkpointing.
+        resume: reuse a matching existing ledger at ``ledger_path``
+            (fingerprint-checked) instead of starting fresh.
+        cell_chunk: cells per vectorized batch (vectorized engine only;
+            None splits evenly across the workers, bounded by a
+            cache-friendly default).
+        workers: worker processes (1 = serial, None = all CPUs).
+        chunk_size: pool dispatch chunk size (None = auto).
+        progress: progress callback (per cell for the pool engine, per
+            cell chunk for the vectorized engine).
+        mp_context: multiprocessing start method override.
+
+    Returns:
+        The :class:`CampaignReport`; crashed cells land in
+        ``report.failures`` (and are absent from the ledger, so a
+        resume retries them).
+    """
+    spec = spec or CampaignSpec()
+    config = config or AdcConfig.paper_default()
+    if cell_chunk is not None and cell_chunk < 1:
+        raise ConfigurationError(
+            f"cell_chunk must be >= 1 or None, got {cell_chunk}"
+        )
+    if cell_chunk is not None and engine != "vectorized":
+        raise ConfigurationError(
+            "cell_chunk applies to the vectorized engine only; "
+            f"got cell_chunk={cell_chunk} with engine='{engine}'"
+        )
+    if engine not in ("pool", "vectorized"):
+        raise ConfigurationError(
+            f"engine must be 'pool' or 'vectorized', got '{engine}'"
+        )
+
+    cells = spec.cells()
+    fingerprint = spec.fingerprint(config)
+    ledger: CampaignLedger | None = None
+    completed: dict[int, CellMetrics] = {}
+    if ledger_path is not None:
+        ledger = CampaignLedger(ledger_path)
+        if resume and ledger.exists():
+            completed = ledger.load(fingerprint)
+        else:
+            ledger.start(fingerprint)
+    pending = [cell for cell in cells if cell.index not in completed]
+
+    def checkpoint(update) -> None:
+        outcome = update.latest
+        if ledger is not None and outcome is not None and outcome.ok:
+            value = outcome.value
+            ledger.record(value if isinstance(value, tuple) else (value,))
+        if progress is not None:
+            progress(update)
+
+    runner = BatchRunner(
+        workers=workers,
+        chunk_size=chunk_size,
+        progress=checkpoint,
+        mp_context=mp_context,
+    )
+    if not pending:
+        batch = BatchResult(
+            outcomes=(), workers=1, chunk_size=1, elapsed_s=0.0
+        )
+    elif engine == "pool":
+        tasks = [CellTask(cell=cell, config=config, spec=spec) for cell in pending]
+        batch = runner.run(measure_cell, tasks)
+        # BatchRunner indexes outcomes by submission position; remap to
+        # grid cell indices (and record the die seed, matching the
+        # flattened vectorized outcomes) so a resumed run — where
+        # ``pending`` is a strict subset of the grid — merges and
+        # reports against the right cells.
+        batch = dataclasses.replace(
+            batch,
+            outcomes=tuple(
+                dataclasses.replace(
+                    outcome,
+                    index=pending[outcome.index].index,
+                    seed=pending[outcome.index].die_seed,
+                )
+                for outcome in batch.outcomes
+            ),
+        )
+    else:
+        if cell_chunk is None:
+            per_worker = -(-len(pending) // runner.resolve_workers(len(pending)))
+            cell_chunk = max(1, min(per_worker, _DEFAULT_CELL_CHUNK))
+        chunks = _chunk_cells(pending, cell_chunk)
+        tasks = [
+            CellChunkTask(cells=chunk, config=config, spec=spec)
+            for chunk in chunks
+        ]
+        batch = flatten_chunk_batch(
+            runner.run(measure_cell_chunk, tasks),
+            chunks,
+            index_of=lambda cell: cell.index,
+            seed_of=lambda cell: cell.die_seed,
+        )
+    merged = dict(completed)
+    for outcome in batch.outcomes:
+        if outcome.ok:
+            merged[outcome.index] = outcome.value
+    return CampaignReport(
+        spec=spec,
+        cells=tuple(merged[index] for index in sorted(merged)),
+        batch=batch,
+        engine=engine,
+        resumed_cells=len(completed),
+    )

@@ -35,7 +35,7 @@ from repro.runtime.batch import (
     BatchResult,
     BatchRunner,
     ProgressCallback,
-    TaskOutcome,
+    flatten_chunk_batch,
     json_safe,
 )
 from repro.signal.generators import SineGenerator
@@ -518,42 +518,14 @@ def _flatten_chunk_batch(
 ) -> BatchResult:
     """Per-die outcomes from a per-chunk batch result.
 
-    Keeps :class:`YieldReport` engine-agnostic: a crashed chunk marks
-    each of its dies failed with the chunk's error, a successful chunk
-    contributes one outcome per die (chunk wall time amortized evenly).
+    Keeps :class:`YieldReport` engine-agnostic (see
+    :func:`repro.runtime.batch.flatten_chunk_batch`).
     """
-    outcomes: list[TaskOutcome] = []
-    for chunk_outcome, chunk in zip(batch.outcomes, chunks):
-        elapsed = chunk_outcome.elapsed_s / len(chunk)
-        for position, die in enumerate(chunk):
-            if chunk_outcome.ok:
-                outcomes.append(
-                    TaskOutcome(
-                        index=die.index,
-                        value=chunk_outcome.value[position],
-                        seed=die.seed,
-                        elapsed_s=elapsed,
-                    )
-                )
-            else:
-                outcomes.append(
-                    TaskOutcome(
-                        index=die.index,
-                        seed=die.seed,
-                        error=chunk_outcome.error,
-                        error_type=chunk_outcome.error_type,
-                        traceback=chunk_outcome.traceback,
-                        exception=chunk_outcome.exception,
-                        elapsed_s=elapsed,
-                    )
-                )
-    outcomes.sort(key=lambda outcome: outcome.index)
-    return BatchResult(
-        outcomes=tuple(outcomes),
-        workers=batch.workers,
-        chunk_size=batch.chunk_size,
-        elapsed_s=batch.elapsed_s,
-        root_seed=batch.root_seed,
+    return flatten_chunk_batch(
+        batch,
+        chunks,
+        index_of=lambda die: die.index,
+        seed_of=lambda die: die.seed,
     )
 
 

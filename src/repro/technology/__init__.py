@@ -17,8 +17,17 @@ Exports the pieces the device and circuit layers build on:
 """
 
 from repro.technology.capacitor import CapacitorMismatchModel, MetalCapacitor
-from repro.technology.corners import Corner, OperatingPoint
-from repro.technology.montecarlo import MonteCarloSampler, ProcessSample
+from repro.technology.corners import (
+    Corner,
+    OperatingPoint,
+    OperatingPointArray,
+    pvt_grid,
+)
+from repro.technology.montecarlo import (
+    MonteCarloSampler,
+    ProcessSample,
+    ProcessSampleArray,
+)
 from repro.technology.mosfet import Mosfet, MosPolarity
 from repro.technology.process import Technology
 
@@ -30,6 +39,9 @@ __all__ = [
     "Mosfet",
     "MosPolarity",
     "OperatingPoint",
+    "OperatingPointArray",
     "ProcessSample",
+    "ProcessSampleArray",
     "Technology",
+    "pvt_grid",
 ]

@@ -151,9 +151,11 @@ class OperatingPointArray:
     Implements the slice of the :class:`OperatingPoint` interface the
     die-batched conversion chain consumes — per-die noise temperature
     and capacitance scale — as (dies, 1) columns so device expressions
-    broadcast against (dies, samples) sample blocks.  The full points
-    stay reachable through :meth:`__getitem__` for anything outside the
-    hot path.
+    broadcast against (dies, samples) sample blocks.  The rows need not
+    share a corner or temperature: a (points x dies) PVT campaign
+    flattens its whole grid into one array and converts it in one
+    vectorized pass.  The full points stay reachable through
+    :meth:`__getitem__` for anything outside the hot path.
     """
 
     def __init__(self, points: Iterable[OperatingPoint]):
@@ -169,11 +171,39 @@ class OperatingPointArray:
             [[p.capacitance_scale()] for p in self.points]
         )
 
+    @classmethod
+    def from_grid(
+        cls,
+        technology: Technology | None = None,
+        corners: Iterable[Corner] = tuple(Corner),
+        temperatures_c: Iterable[float] = (27.0,),
+        supply_scale: float = 1.0,
+    ) -> "OperatingPointArray":
+        """The corners x temperatures cross product, corner-major.
+
+        Row ``p * len(temperatures) + t`` is corner *p* at temperature
+        *t* — the cell order every campaign consumer (ledger, sign-off
+        tables) relies on.
+        """
+        return cls(
+            pvt_grid(
+                technology=technology,
+                corners=corners,
+                temperatures_c=temperatures_c,
+                supply_scale=supply_scale,
+            )
+        )
+
     def __len__(self) -> int:
         return len(self.points)
 
     def __getitem__(self, index: int) -> OperatingPoint:
         return self.points[index]
+
+    @property
+    def corners(self) -> tuple[Corner, ...]:
+        """Per-die process corners, in row order."""
+        return tuple(p.corner for p in self.points)
 
     @property
     def temperature_k(self) -> np.ndarray:
@@ -205,4 +235,36 @@ def all_corners(
             supply_scale=supply_scale,
         )
         for corner in Corner
+    ]
+
+
+def pvt_grid(
+    technology: Technology | None = None,
+    corners: Iterable[Corner] = tuple(Corner),
+    temperatures_c: Iterable[float] = (27.0,),
+    supply_scale: float = 1.0,
+) -> list[OperatingPoint]:
+    """The corners x temperatures sign-off grid, corner-major.
+
+    The canonical operating-point enumeration of a PVT campaign: every
+    requested corner at every requested temperature, corners outermost.
+    Point ``p * len(temperatures_c) + t`` is ``corners[p]`` at
+    ``temperatures_c[t]``.
+    """
+    tech = technology or Technology()
+    corner_list = tuple(corners)
+    temperature_list = tuple(temperatures_c)
+    if not corner_list:
+        raise ConfigurationError("pvt_grid needs at least one corner")
+    if not temperature_list:
+        raise ConfigurationError("pvt_grid needs at least one temperature")
+    return [
+        OperatingPoint(
+            technology=tech,
+            corner=corner,
+            temperature_c=float(temperature),
+            supply_scale=supply_scale,
+        )
+        for corner in corner_list
+        for temperature in temperature_list
     ]

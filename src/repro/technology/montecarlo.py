@@ -128,6 +128,45 @@ class ProcessSampleArray:
         for index in range(len(self)):
             yield self[index]
 
+    @classmethod
+    def from_grid(
+        cls,
+        points: Sequence[OperatingPoint],
+        die_seeds: Sequence[int],
+    ) -> "ProcessSampleArray":
+        """The (points x dies) campaign population, point-major.
+
+        Cell ``p * len(die_seeds) + d`` is operating point *p* measured
+        on the die with seed ``die_seeds[d]`` — the same physical die
+        (identical mismatch draws and noise streams) re-characterized at
+        every operating point, which is exactly what a PVT sign-off
+        sweep does on the bench.
+        """
+        if not points:
+            raise ConfigurationError("campaign grid needs operating points")
+        if not die_seeds:
+            raise ConfigurationError("campaign grid needs die seeds")
+        technology = shared_value(
+            (p.technology for p in points), "technology"
+        )
+        n_dies = len(die_seeds)
+        return cls(
+            technology=technology,
+            corners=tuple(p.corner for p in points for _ in die_seeds),
+            temperature_c=np.repeat(
+                [p.temperature_c for p in points], n_dies
+            ),
+            supply_scale=np.repeat(
+                [p.supply_scale for p in points], n_dies
+            ),
+            cap_scale=np.repeat([p.cap_scale for p in points], n_dies),
+            # Campaign die seeds are SeedSequence-spawned 64-bit words,
+            # which exceed the int64 range the sampler's own seeds
+            # (drawn below 2^63) stay inside.
+            seeds=np.tile(np.asarray(die_seeds, dtype=np.uint64), len(points)),
+            indices=np.arange(len(points) * n_dies, dtype=np.int64),
+        )
+
 
 @dataclass(frozen=True)
 class MonteCarloSampler:

@@ -6,8 +6,10 @@ from repro.errors import ConfigurationError
 from repro.technology.corners import (
     Corner,
     OperatingPoint,
+    OperatingPointArray,
     all_corners,
     nominal_operating_point,
+    pvt_grid,
 )
 
 
@@ -73,3 +75,36 @@ class TestOperatingPoint:
         points = all_corners(technology)
         assert len(points) == 5
         assert {p.corner for p in points} == set(Corner)
+
+    def test_pvt_grid_shape_and_order(self, technology):
+        points = pvt_grid(
+            technology=technology, temperatures_c=(-40.0, 27.0, 125.0)
+        )
+        assert len(points) == 15
+        # Corner-major: the first three rows are TT at each temperature.
+        assert [p.corner for p in points[:3]] == [Corner.TT] * 3
+        assert [p.temperature_c for p in points[:3]] == [-40.0, 27.0, 125.0]
+        assert points[3].corner == Corner.FF
+
+    def test_pvt_grid_passes_supply_scale(self, technology):
+        (point,) = pvt_grid(
+            technology=technology,
+            corners=(Corner.TT,),
+            temperatures_c=(27.0,),
+            supply_scale=0.9,
+        )
+        assert point.supply_scale == 0.9
+
+    def test_grid_array_matches_grid(self, technology):
+        array = OperatingPointArray.from_grid(
+            technology=technology,
+            corners=(Corner.SS, Corner.FF),
+            temperatures_c=(27.0, 125.0),
+        )
+        points = pvt_grid(
+            technology=technology,
+            corners=(Corner.SS, Corner.FF),
+            temperatures_c=(27.0, 125.0),
+        )
+        assert list(array.points) == points
+        assert array.corners == tuple(p.corner for p in points)

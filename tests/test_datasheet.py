@@ -5,7 +5,12 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.evaluation.datasheet import DatasheetLine, characterize
+from repro.evaluation.datasheet import (
+    DatasheetLine,
+    characterize,
+    min_typ_max,
+    signoff_datasheet,
+)
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +58,37 @@ class TestCharacterize:
     def test_rejects_single_die(self, paper_config):
         with pytest.raises(ConfigurationError):
             characterize(paper_config, n_dies=1)
+
+
+class TestSignoffDatasheet:
+    """The min/typ/max rollup layer the PVT campaign aggregates with."""
+
+    def test_min_typ_max(self):
+        assert min_typ_max([3.0, 1.0, 2.0]) == (1.0, 2.0, 3.0)
+        assert min_typ_max([5]) == (5.0, 5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            min_typ_max([])
+
+    def test_signoff_table(self):
+        sheet = signoff_datasheet(
+            {
+                "SNDR": ("dB", [60.0, 64.0, 62.0]),
+                "ENOB": ("bit", [9.7, 10.4, 10.1]),
+            },
+            n_population=3,
+            conversion_rate=110e6,
+            conditions="5 corners x 3 temperatures",
+        )
+        assert sheet.lines[0].parameter == "SNDR"
+        assert sheet.lines[0].minimum == 60.0
+        assert sheet.lines[0].maximum == 64.0
+        text = sheet.render()
+        assert "3 cells" in text
+        assert "5 corners x 3 temperatures" in text
+
+    def test_characterize_title_unchanged(self, datasheet):
+        assert "TT/27C/1.8V" in datasheet.render()
+        assert f"{datasheet.n_dies} dies" in datasheet.render()
 
 
 class TestDatasheetLine:

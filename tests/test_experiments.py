@@ -29,6 +29,7 @@ SCENARIO_IDS = [
     "scenario-if",
     "scenario-ultrasound",
     "scenario-calibrated-yield",
+    "scenario-pvt-signoff",
 ]
 
 
@@ -82,6 +83,16 @@ def test_calibrated_yield_scenario_passes():
     assert len(result.rows) == 2
     failed = [c.claim for c in result.claims if not c.passed]
     assert not failed, f"scenario-calibrated-yield missed: {failed}"
+
+
+def test_pvt_signoff_scenario_passes():
+    """The corner-batched sign-off campaign (quick mode): the grid's
+    min/typ/max rollup and its datasheet-class claims."""
+    result = run_experiment("scenario-pvt-signoff", quick=True)
+    parameters = [row[0] for row in result.rows]
+    assert "ENOB" in parameters
+    failed = [c.claim for c in result.claims if not c.passed]
+    assert not failed, f"scenario-pvt-signoff missed: {failed}"
 
 
 def test_render_is_printable():

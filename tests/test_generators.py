@@ -65,7 +65,12 @@ class TestSineGenerator:
         t = np.linspace(0, 3 / frequency, 64)
         step = 1e-5 / frequency
         numeric = (tone.value(t + step) - tone.value(t - step)) / (2 * step)
-        assert np.allclose(tone.derivative(t), numeric, rtol=1e-3, atol=1e-6 * amplitude * frequency)
+        assert np.allclose(
+            tone.derivative(t),
+            numeric,
+            rtol=1e-3,
+            atol=1e-6 * amplitude * frequency,
+        )
 
 
 class TestRampGenerator:
