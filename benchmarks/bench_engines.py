@@ -40,12 +40,21 @@ run fails when any shared workload's wall time regresses beyond the
 tolerance (default 1.5x) or when the engines' metrics diverge — the CI
 benchmark-regression gate.
 
+``--history-dir DIR`` appends the run to a perf-trajectory history:
+one schema-versioned JSON per run (``repro.bench-history/v1``) stamped
+with a UTC timestamp and best-effort git identity, wrapping the full
+v4 bench document.  ``--history-report`` renders the accumulated
+per-workload wall-time trend from such a directory without rerunning
+anything.  The committed trajectory lives in
+``benchmarks/BENCH_history/``; CI appends its own run as an artifact.
+
 Run as a script::
 
     python benchmarks/bench_engines.py --dies 32 --fft-points 4096 \
         --out BENCH_engines.json
     python benchmarks/bench_engines.py --dies 16 --fft-points 2048 \
         --compare-baseline benchmarks/BENCH_baseline.json
+    python benchmarks/bench_engines.py --history-report
 
 or through pytest (small smoke workload)::
 
@@ -67,6 +76,12 @@ from pathlib import Path
 #: Schema tag for the emitted artifact.  v4: adds the pvt-campaign
 #: workload and environment metadata (numpy version, machine).
 BENCH_ENGINES_SCHEMA = "repro.bench-engines/v4"
+
+#: Schema tag of one perf-trajectory history entry (--history-dir).
+BENCH_HISTORY_SCHEMA = "repro.bench-history/v1"
+
+#: The committed perf-trajectory directory.
+HISTORY_DIR = Path(__file__).resolve().parent / "BENCH_history"
 
 #: Wall-time regression tolerance of the --compare-baseline gate.
 BASELINE_TOLERANCE = 1.5
@@ -436,6 +451,140 @@ def run_baseline_gate(
     return True
 
 
+# --- perf-trajectory history -------------------------------------------
+
+
+def _git_identity() -> dict | None:
+    """Best-effort commit identity of the repo (None outside git)."""
+    import subprocess
+
+    repo = Path(__file__).resolve().parent
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=repo,
+        )
+        branch = subprocess.run(
+            ["git", "rev-parse", "--abbrev-ref", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=repo,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if sha.returncode != 0:
+        return None
+    return {
+        "sha": sha.stdout.strip(),
+        "branch": branch.stdout.strip() if branch.returncode == 0 else None,
+    }
+
+
+def append_history(
+    document: dict,
+    history_dir: Path,
+    recorded_at: str | None = None,
+    label: str | None = None,
+) -> Path:
+    """Append one bench run to a history directory; returns the new file.
+
+    Each entry is its own ``repro.bench-history/v1`` JSON (append =
+    add a file, so concurrent CI runs and stacked PRs never rewrite
+    each other's entries), wrapping the full v4 bench document plus a
+    UTC timestamp and best-effort git identity.
+    """
+    from datetime import datetime, timezone
+
+    recorded = recorded_at or datetime.now(timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
+    git = _git_identity()
+    entry = {
+        "schema": BENCH_HISTORY_SCHEMA,
+        "recorded_at": recorded,
+        "git": git,
+        "label": label,
+        "bench": document,
+    }
+    history_dir.mkdir(parents=True, exist_ok=True)
+    stamp = recorded.replace("-", "").replace(":", "")
+    sha = (git or {}).get("sha") or "nogit"
+    path = history_dir / f"{stamp}_{sha[:10]}.json"
+    suffix = 1
+    while path.exists():
+        path = history_dir / f"{stamp}_{sha[:10]}_{suffix}.json"
+        suffix += 1
+    path.write_text(json.dumps(entry, indent=2) + "\n")
+    return path
+
+
+def load_history(history_dir: Path) -> list[dict]:
+    """History entries of a directory, oldest first (foreign JSON skipped)."""
+    entries = []
+    for path in sorted(history_dir.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        if entry.get("schema") != BENCH_HISTORY_SCHEMA:
+            continue
+        entry["path"] = path.name
+        entries.append(entry)
+    entries.sort(key=lambda e: e.get("recorded_at", ""))
+    return entries
+
+
+def render_history(entries: list[dict]) -> str:
+    """The per-workload wall-time trend across history entries.
+
+    One block per workload, one line per run: serial wall time, the
+    fastest configuration and its speedup.  Runs whose parameters
+    differ from the newest entry's are marked so apparent jumps are
+    not read as regressions.
+    """
+    if not entries:
+        return "BENCH history: no entries"
+    workloads: list[str] = []
+    for entry in entries:
+        for name in entry.get("bench", {}).get("workloads", {}):
+            if name not in workloads:
+                workloads.append(name)
+    lines = [f"BENCH history ({len(entries)} run(s)):"]
+    for name in workloads:
+        lines.append(f"{name}:")
+        newest_params = None
+        for entry in reversed(entries):
+            workload = entry.get("bench", {}).get("workloads", {}).get(name)
+            if workload is not None:
+                newest_params = workload["params"]
+                break
+        for entry in entries:
+            workload = entry.get("bench", {}).get("workloads", {}).get(name)
+            if workload is None:
+                continue
+            git = entry.get("git") or {}
+            sha = (git.get("sha") or "nogit")[:10]
+            serial_s = workload["engines"]["serial"]["elapsed_s"]
+            best = workload["best_engine"]
+            label = f"  [{entry['label']}]" if entry.get("label") else ""
+            drift = (
+                "  (params differ)"
+                if workload["params"] != newest_params
+                else ""
+            )
+            lines.append(
+                f"  {entry.get('recorded_at', '?'):>20}  {sha:>10}  "
+                f"serial {serial_s:6.2f} s  best {best} "
+                f"{workload['best_speedup_vs_serial']:.2f}x"
+                f"{label}{drift}"
+            )
+    return "\n".join(lines)
+
+
 def _print_document(document: dict) -> None:
     for name, workload in document["workloads"].items():
         print(f"{name} ({workload['params']}):")
@@ -489,6 +638,53 @@ def test_engine_comparison_smoke(tmp_path):
         )
         == []
     )
+
+
+def test_bench_history_roundtrip(tmp_path):
+    """History append/load/render: ordering, schema, drift marking."""
+    document = {
+        "schema": BENCH_ENGINES_SCHEMA,
+        "workloads": {
+            "dynamic-screen": {
+                "params": {"dies": 4},
+                "all_consistent": True,
+                "best_engine": "vectorized",
+                "best_speedup_vs_serial": 2.0,
+                "engines": {
+                    "serial": {"elapsed_s": 1.0, "speedup_vs_serial": 1.0},
+                    "vectorized": {
+                        "elapsed_s": 0.5,
+                        "speedup_vs_serial": 2.0,
+                    },
+                },
+            }
+        },
+    }
+    history = tmp_path / "BENCH_history"
+    # Appended out of chronological order: load must sort by timestamp.
+    newer = json.loads(json.dumps(document))
+    newer["workloads"]["dynamic-screen"]["params"] = {"dies": 8}
+    path_b = append_history(
+        newer, history, recorded_at="2026-08-08T12:00:00Z"
+    )
+    path_a = append_history(
+        document, history, recorded_at="2026-08-01T12:00:00Z", label="seed"
+    )
+    assert path_a != path_b
+    (history / "foreign.json").write_text('{"schema": "other/v1"}')
+    entries = load_history(history)
+    assert [e["recorded_at"] for e in entries] == [
+        "2026-08-01T12:00:00Z",
+        "2026-08-08T12:00:00Z",
+    ]
+    assert all(e["schema"] == BENCH_HISTORY_SCHEMA for e in entries)
+    assert entries[0]["bench"] == document
+    report = render_history(entries)
+    assert "dynamic-screen" in report
+    assert "[seed]" in report
+    # The older run's params differ from the newest entry's: marked.
+    assert "(params differ)" in report
+    assert render_history([]) == "BENCH history: no entries"
 
 
 def test_compare_with_baseline_param_and_consistency_guards():
@@ -585,7 +781,34 @@ def main(argv=None) -> int:
         default=Path("BENCH_engines.json"),
         help="artifact path (default BENCH_engines.json)",
     )
+    parser.add_argument(
+        "--history-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "append this run to a perf-trajectory history directory "
+            f"(the committed one is {HISTORY_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--history-label",
+        default=None,
+        metavar="TEXT",
+        help="free-form annotation stored with the history entry",
+    )
+    parser.add_argument(
+        "--history-report",
+        action="store_true",
+        help=(
+            "render the wall-time trend from --history-dir (default: the "
+            "committed history) and exit without running the benchmark"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.history_report:
+        print(render_history(load_history(args.history_dir or HISTORY_DIR)))
+        return 0
     document = run_engine_comparison(
         dies=args.dies,
         n_fft=args.fft_points,
@@ -600,6 +823,11 @@ def main(argv=None) -> int:
     )
     args.out.write_text(json.dumps(document, indent=2))
     print(f"wrote {args.out}")
+    if args.history_dir is not None:
+        entry_path = append_history(
+            document, args.history_dir, label=args.history_label
+        )
+        print(f"appended history entry {entry_path}")
     _print_document(document)
     gate_passed = True
     if args.compare_baseline is not None:

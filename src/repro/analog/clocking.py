@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, ModelDomainError
+from repro.profiling import record
 
 
 class ClockingScheme(enum.Enum):
@@ -154,7 +155,10 @@ class ClockGenerator:
         nominal = np.arange(count) * timing.period
         if self.aperture_jitter_rms == 0:
             return nominal
-        return nominal + rng.normal(0.0, self.aperture_jitter_rms, size=count)
+        with record("noise-draw", "jitter"):
+            return nominal + rng.normal(
+                0.0, self.aperture_jitter_rms, size=count
+            )
 
     def jitter_limited_snr_db(self, input_frequency: float) -> float:
         """Theoretical jitter-only SNR for a full-scale sine [dB].

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.profiling import record
 from repro.technology.corners import OperatingPoint
 
 
@@ -102,7 +103,8 @@ class ReferenceBuffer:
         mean = self.effective_reference(dac_capacitance, conversion_rate)
         if self.noise_rms == 0:
             return np.full(count, mean)
-        return mean + rng.normal(0.0, self.noise_rms, size=count)
+        with record("noise-draw", "reference"):
+            return mean + rng.normal(0.0, self.noise_rms, size=count)
 
     def power(self, operating_point: OperatingPoint) -> float:
         """Static buffer power [W]."""

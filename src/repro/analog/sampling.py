@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.devices.switch import SwitchModel
 from repro.errors import ConfigurationError, ModelDomainError
+from repro.profiling import record
 from repro.technology.corners import OperatingPoint
 from repro.units import BOLTZMANN
 
@@ -214,7 +215,8 @@ class SamplingNetwork:
         droop = self.droop_gain_error(hold_time)
         held = held * (1.0 - droop * (1.0 + self.droop_nonlinearity * held**2))
         if self.include_noise:
-            held = held + rng.normal(
-                0.0, self.noise_rms(operating_point), size=held.shape
-            )
+            with record("noise-draw", "sample-ktc"):
+                held = held + rng.normal(
+                    0.0, self.noise_rms(operating_point), size=held.shape
+                )
         return held

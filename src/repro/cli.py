@@ -10,6 +10,7 @@ Usage::
     repro mc --dies 32 --engine vectorized --calibrate
     repro campaign --dies 16 --ledger signoff.jsonl
     repro campaign --dies 16 --ledger signoff.jsonl --resume
+    repro profile dynamic-screen --dies 8 --json profile.json
 
 (``python -m repro`` is equivalent to the installed ``repro`` script.)
 """
@@ -33,6 +34,7 @@ from repro.runtime.campaign import (
     run_campaign,
 )
 from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
+from repro.runtime.profiling import ENGINES, WORKLOADS, profile_workload
 from repro.technology.corners import Corner
 from repro.version import PAPER, __version__
 
@@ -375,6 +377,86 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    """The ``repro profile`` (per-stage cost breakdown) argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Run a named workload with per-stage wall-time "
+            "instrumentation enabled and render the cost breakdown "
+            "(counts, total/mean time, %-of-run per stage), serial vs "
+            "vectorized engine side by side.  Profiling never touches "
+            "a random stream, so the measured runs are bit-exact with "
+            "unprofiled ones.  See docs/performance.md for how to read "
+            "the output."
+        ),
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        choices=WORKLOADS,
+        default="dynamic-screen",
+        help=(
+            "workload to profile: 'dynamic-screen' (tone + FFT per "
+            "cell at the nominal point), 'yield-screen' (the repro mc "
+            "dynamic + static screens), 'pvt-campaign' (the full "
+            "sign-off grid) (default dynamic-screen)"
+        ),
+    )
+    parser.add_argument(
+        "--dies",
+        type=int,
+        default=8,
+        metavar="N",
+        help="dies (cells) per operating point (default 8)",
+    )
+    parser.add_argument(
+        "--fft-points",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="record length per cell (default 4096)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES + ("both",),
+        default="both",
+        help="which engine column(s) to run (default both)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the profile document "
+            "(schema repro.profile-report/v1) to PATH"
+        ),
+    )
+    return parser
+
+
+def run_profile(argv: Sequence[str] | None = None) -> int:
+    """Run the ``profile`` subcommand; returns a process exit code."""
+    args = build_profile_parser().parse_args(argv)
+    engines = ENGINES if args.engine == "both" else (args.engine,)
+    report = profile_workload(
+        args.workload,
+        dies=args.dies,
+        fft_points=args.fft_points,
+        engines=engines,
+    )
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(report.to_json())
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _parse_corners(text: str) -> tuple[Corner, ...]:
     if text.strip().lower() == "all":
         return tuple(Corner)
@@ -554,6 +636,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_mc(arguments[1:])
         if arguments and arguments[0] == "campaign":
             return run_campaign_cli(arguments[1:])
+        if arguments and arguments[0] == "profile":
+            return run_profile(arguments[1:])
         return run_experiments(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -36,6 +36,7 @@ from repro.devices.switch import (
     TransmissionGate,
 )
 from repro.errors import ConfigurationError
+from repro.profiling import record
 from repro.streams import (
     CONVERT_NOISE_STREAM,
     SAMPLES_NOISE_STREAM,
@@ -121,19 +122,20 @@ class PipelineAdc:
         self.seed = seed
         self.timing: PhaseTiming = config.clock.timing(conversion_rate)
 
-        mismatch_rng = np.random.default_rng(seed)
-        self._build_bias(mismatch_rng)
-        self._build_stages(mismatch_rng)
-        self._build_frontend()
-        self.flash = FlashBackend(
-            vref=config.vref,
-            bits=config.flash_bits,
-            parameters=config.flash_comparator,
-            rng=mismatch_rng,
-        )
-        self.correction = DigitalCorrection(
-            n_stages=config.n_stages, flash_bits=config.flash_bits
-        )
+        with record("build", "die"):
+            mismatch_rng = np.random.default_rng(seed)
+            self._build_bias(mismatch_rng)
+            self._build_stages(mismatch_rng)
+            self._build_frontend()
+            self.flash = FlashBackend(
+                vref=config.vref,
+                bits=config.flash_bits,
+                parameters=config.flash_comparator,
+                rng=mismatch_rng,
+            )
+            self.correction = DigitalCorrection(
+                n_stages=config.n_stages, flash_bits=config.flash_bits
+            )
 
     # --- construction ----------------------------------------------------
 
@@ -278,11 +280,12 @@ class PipelineAdc:
             )
         held = np.asarray(values, dtype=float)
         if self.config.include_thermal_noise:
-            held = held + rng.normal(
-                0.0,
-                self.frontend.noise_rms(self.operating_point),
-                size=held.shape,
-            )
+            with record("noise-draw", "sample-ktc"):
+                held = held + rng.normal(
+                    0.0,
+                    self.frontend.noise_rms(self.operating_point),
+                    size=held.shape,
+                )
         return held
 
     def _stage_references(
@@ -303,14 +306,15 @@ class PipelineAdc:
             sc.unit_capacitance for sc in config.stage_configs()
         )
         if config.include_reference_noise:
-            record = config.reference.sample_reference(
+            buffer_record = config.reference.sample_reference(
                 count + config.n_stages - 1,
                 dac_capacitance,
                 self.conversion_rate,
                 rng,
             )
             return [
-                record[..., i : i + count] for i in range(config.n_stages)
+                buffer_record[..., i : i + count]
+                for i in range(config.n_stages)
             ]
         effective = np.full(
             count,
@@ -351,16 +355,17 @@ class PipelineAdc:
         skip = self.correction.latency_cycles
         total = n_samples + skip
 
-        times = self._sample_instants(total, rng)
-        values = np.asarray(signal.value(times), dtype=float)
-        derivatives = np.asarray(signal.derivative(times), dtype=float)
-        if values.shape != times.shape or derivatives.shape != times.shape:
-            raise ConfigurationError(
-                "signal value/derivative must match the time array shape"
-            )
-        return self._convert_held(
-            self._acquire(values, derivatives, rng), times, rng, skip
-        )
+        with record("sample", "stimulus"):
+            times = self._sample_instants(total, rng)
+            values = np.asarray(signal.value(times), dtype=float)
+            derivatives = np.asarray(signal.derivative(times), dtype=float)
+            if values.shape != times.shape or derivatives.shape != times.shape:
+                raise ConfigurationError(
+                    "signal value/derivative must match the time array shape"
+                )
+        with record("sample", "acquire"):
+            held = self._acquire(values, derivatives, rng)
+        return self._convert_held(held, times, rng, skip)
 
     def convert_samples(
         self,
@@ -412,7 +417,8 @@ class PipelineAdc:
         skip: int,
     ) -> ConversionResult:
         total = held.size
-        references = self._stage_references(total, rng)
+        with record("references", "window"):
+            references = self._stage_references(total, rng)
         stage_codes = np.empty((total, self.config.n_stages), dtype=int)
         residue = held
         for stage, refs in zip(self.stages, references):
@@ -421,12 +427,14 @@ class PipelineAdc:
             )
             stage_codes[:, stage.index] = output.codes
             residue = output.residues
-        flash_codes = self.flash.decide(residue, rng)
+        with record("flash", "decide"):
+            flash_codes = self.flash.decide(residue, rng)
 
-        aligned_codes, aligned_flash = self.correction.align(
-            stage_codes, flash_codes
-        )
-        words = self.correction.combine(aligned_codes, aligned_flash)
+        with record("correction", "align-combine"):
+            aligned_codes, aligned_flash = self.correction.align(
+                stage_codes, flash_codes
+            )
+            words = self.correction.combine(aligned_codes, aligned_flash)
         return ConversionResult(
             codes=words,
             stage_codes=aligned_codes,

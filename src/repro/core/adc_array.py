@@ -40,6 +40,7 @@ from repro.core.config import AdcConfig
 from repro.core.flash import FlashBackend
 from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
+from repro.profiling import record
 from repro.streams import (
     CONVERT_NOISE_STREAM,
     SAMPLES_NOISE_STREAM,
@@ -148,11 +149,12 @@ class AdcArray:
         )
         self.timing = self.dies[0].timing
         self.correction = self.dies[0].correction
-        self.stages: list[PipelineStage] = [
-            PipelineStage.stack([die.stages[i] for die in self.dies])
-            for i in range(config.n_stages)
-        ]
-        self.flash = FlashBackend.stack([die.flash for die in self.dies])
+        with record("build", "stack"):
+            self.stages: list[PipelineStage] = [
+                PipelineStage.stack([die.stages[i] for die in self.dies])
+                for i in range(config.n_stages)
+            ]
+            self.flash = FlashBackend.stack([die.flash for die in self.dies])
 
     @property
     def n_dies(self) -> int:
@@ -225,21 +227,23 @@ class AdcArray:
         skip = self.correction.latency_cycles
         total = n_samples + skip
 
-        times = self._sample_instants(total, streams)
-        values = np.asarray(signal.value(times), dtype=float)
-        derivatives = np.asarray(signal.derivative(times), dtype=float)
-        if values.shape != times.shape or derivatives.shape != times.shape:
-            raise ConfigurationError(
-                "signal value/derivative must match the time array shape"
-            )
+        with record("sample", "stimulus"):
+            times = self._sample_instants(total, streams)
+            values = np.asarray(signal.value(times), dtype=float)
+            derivatives = np.asarray(signal.derivative(times), dtype=float)
+            if values.shape != times.shape or derivatives.shape != times.shape:
+                raise ConfigurationError(
+                    "signal value/derivative must match the time array shape"
+                )
         # Front-end acquisition stays per die: the switch physics is
         # scalar in each die's operating point, and each row must keep
         # drawing from its own stream in the per-die order.
-        held = np.empty(times.shape)
-        for index, die in enumerate(self.dies):
-            held[index] = die._acquire(
-                values[index], derivatives[index], streams.generator(index)
-            )
+        with record("sample", "acquire"):
+            held = np.empty(times.shape)
+            for index, die in enumerate(self.dies):
+                held[index] = die._acquire(
+                    values[index], derivatives[index], streams.generator(index)
+                )
         return self._convert_held(held, times, streams, skip)
 
     def convert_samples(
@@ -297,7 +301,8 @@ class AdcArray:
         if self.n_dies > 1 and held.shape[1] - skip > _PER_DIE_RECORD_SAMPLES:
             return self._convert_held_per_die(held, times, streams, skip)
         total = held.shape[1]
-        references = self._stage_references(total, streams)
+        with record("references", "window"):
+            references = self._stage_references(total, streams)
         stage_codes = np.empty(
             (self.n_dies, total, self.config.n_stages), dtype=int
         )
@@ -308,12 +313,14 @@ class AdcArray:
             )
             stage_codes[:, :, stage.index] = output.codes
             residue = output.residues
-        flash_codes = self.flash.decide(residue, streams)
+        with record("flash", "decide"):
+            flash_codes = self.flash.decide(residue, streams)
 
-        aligned_codes, aligned_flash = self.correction.align(
-            stage_codes, flash_codes
-        )
-        words = self.correction.combine(aligned_codes, aligned_flash)
+        with record("correction", "align-combine"):
+            aligned_codes, aligned_flash = self.correction.align(
+                stage_codes, flash_codes
+            )
+            words = self.correction.combine(aligned_codes, aligned_flash)
         return ArrayConversionResult(
             codes=words,
             stage_codes=aligned_codes,

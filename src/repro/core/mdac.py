@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.devices.opamp import TwoStageMillerOpamp
 from repro.errors import ConfigurationError
+from repro.profiling import record
 from repro.streams import any_true, shared_value
 from repro.technology.corners import OperatingPoint, OperatingPointArray
 from repro.units import BOLTZMANN
@@ -194,31 +195,34 @@ class Mdac:
         """
         v = np.asarray(inputs, dtype=float)
         if self.include_sampling_noise:
-            v = v + rng.normal(
-                0.0, self.sampling_noise_rms(operating_point), size=v.shape
-            )
+            with record("noise-draw", "mdac-sampling"):
+                v = v + rng.normal(
+                    0.0, self.sampling_noise_rms(operating_point), size=v.shape
+                )
         target = self.target_residue(v, codes, references)
-        if self.include_settling:
-            # The output node is reset toward CM during phi1 (the feedback
-            # caps are reclaimed for tracking), so every settling event
-            # starts from zero differential.
-            result = self.opamp.settle(
-                target=target,
-                initial=0.0,
-                settle_time=self.settle_time,
-                feedback_factor=self.feedback_factor,
-            )
-            residue = result.output
-        else:
-            residue = target
-        residue = self.opamp.compress(residue)
+        with record("mdac", "settle"):
+            if self.include_settling:
+                # The output node is reset toward CM during phi1 (the
+                # feedback caps are reclaimed for tracking), so every
+                # settling event starts from zero differential.
+                result = self.opamp.settle(
+                    target=target,
+                    initial=0.0,
+                    settle_time=self.settle_time,
+                    feedback_factor=self.feedback_factor,
+                )
+                residue = result.output
+            else:
+                residue = target
+            residue = self.opamp.compress(residue)
         if self.include_noise:
             noise = self.opamp.sampled_noise_rms(
                 feedback_factor=self.feedback_factor,
                 load_capacitance=self.load_capacitance,
                 temperature_k=operating_point.temperature_k,
             )
-            residue = residue + rng.normal(0.0, noise, size=residue.shape)
+            with record("noise-draw", "mdac-opamp"):
+                residue = residue + rng.normal(0.0, noise, size=residue.shape)
         return residue
 
     def settling_error_bound(self):

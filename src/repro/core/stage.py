@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.mdac import Mdac
 from repro.core.subadc import SubAdc
+from repro.profiling import record
 from repro.streams import shared_value
 from repro.technology.corners import OperatingPoint, OperatingPointArray
 
@@ -86,10 +87,12 @@ class PipelineStage:
         Returns:
             The decisions and the residues for the next stage.
         """
-        codes = self.subadc.decide(inputs, rng)
-        residues = self.mdac.amplify(
-            inputs, codes, references, operating_point, rng
-        )
+        with record("subadc", "decide"):
+            codes = self.subadc.decide(inputs, rng)
+        with record("mdac", "amplify"):
+            residues = self.mdac.amplify(
+                inputs, codes, references, operating_point, rng
+            )
         return StageOutput(codes=codes, residues=residues)
 
     def describe(self) -> dict:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.profiling import record
 from repro.streams import normal_where, random_where, shared_value
 
 #: Inputs farther than this many noise sigmas from the effective
@@ -148,13 +149,15 @@ class DynamicComparator:
             _NOISE_CUT_SIGMA * p.noise_rms + p.metastability_window
         )
         if p.noise_rms:
-            margin = margin + normal_where(rng, near, p.noise_rms)
+            with record("noise-draw", "comparator"):
+                margin = margin + normal_where(rng, near, p.noise_rms)
         decisions = margin > 0
         if p.metastability_window > 0:
             # Only near-band samples can land inside the window: outside
             # it |margin| already exceeds the cut, which is >= the window.
             metastable = np.abs(margin) < p.metastability_window
-            coin = random_where(rng, metastable)
+            with record("noise-draw", "comparator"):
+                coin = random_where(rng, metastable)
             decisions = np.where(metastable, coin < 0.5, decisions)
         return decisions
 

@@ -11,6 +11,9 @@ The runtime is the scaling layer every fan-out workload goes through:
 * :mod:`repro.runtime.campaign` — corner-batched PVT sign-off
   campaigns with resumable JSONL run ledgers, built on the runner and
   the vectorized engine.
+* :mod:`repro.runtime.profiling` — opt-in per-stage wall-time
+  instrumentation (the ``repro profile`` workloads and reports; the
+  timing primitive itself lives in the leaf :mod:`repro.profiling`).
 """
 
 from repro.runtime.batch import (
@@ -35,6 +38,13 @@ from repro.runtime.montecarlo import (
     measure_die,
     run_yield_analysis,
 )
+from repro.runtime.profiling import (
+    ProfileRecorder,
+    ProfileReport,
+    profile_step,
+    profile_workload,
+    profiled,
+)
 from repro.runtime.seeding import derive_seeds, spawn_sequences
 
 __all__ = [
@@ -48,11 +58,16 @@ __all__ = [
     "CellMetrics",
     "DieMetrics",
     "DieTask",
+    "ProfileRecorder",
+    "ProfileReport",
     "TaskOutcome",
     "YieldReport",
     "YieldSpec",
     "derive_seeds",
     "measure_die",
+    "profile_step",
+    "profile_workload",
+    "profiled",
     "run_campaign",
     "run_yield_analysis",
     "spawn_sequences",

@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.profiling import active as _active_profile
 from repro.runtime.seeding import derive_seeds
 
 #: Schema tag stamped into serialized results so CI consumers can
@@ -286,7 +287,10 @@ def flatten_chunk_batch(
     layers want one :class:`TaskOutcome` per item regardless of engine.
     A crashed chunk marks each of its items failed with the chunk's
     error; a successful chunk contributes one outcome per item, with the
-    chunk wall time amortized evenly.
+    chunk wall time amortized evenly across the chunk's items.  The
+    amortization feeds reports only: profiling's ``dispatch`` entries
+    are recorded by :meth:`BatchRunner.run` from the *chunk* outcomes,
+    so they keep true per-dispatch wall times.
 
     Args:
         batch: the per-chunk batch result.
@@ -436,6 +440,15 @@ class BatchRunner:
     ) -> BatchResult:
         """Execute ``fn`` over every task.
 
+        When profiling is enabled (:mod:`repro.profiling`), each task's
+        worker-measured wall time (:attr:`TaskOutcome.elapsed_s`) is
+        also folded into the active recorder as a ``dispatch/<fn name>``
+        entry when its outcome arrives — this aggregates across worker
+        processes, whose own in-process recorders are not collected.
+        ``dispatch`` entries overlay the engine-internal stages (they
+        time the same work from outside), so ``repro profile`` reports
+        them separately from the share-of-run breakdown.
+
         Args:
             fn: task callable.  Called as ``fn(task)``, or as
                 ``fn(task, seed)`` when ``root_seed`` is given.
@@ -476,10 +489,14 @@ class BatchRunner:
         start = time.perf_counter()
         outcomes: list[TaskOutcome] = []
         failed = 0
+        recorder = _active_profile()
+        fn_label = getattr(fn, "__name__", type(fn).__name__)
 
         def note(outcome: TaskOutcome) -> None:
             nonlocal failed
             outcomes.append(outcome)
+            if recorder is not None:
+                recorder.add("dispatch", fn_label, outcome.elapsed_s)
             if not outcome.ok:
                 failed += 1
             if self.progress is not None:

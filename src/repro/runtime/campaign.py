@@ -42,6 +42,7 @@ from repro.errors import ConfigurationError
 from repro.evaluation.datasheet import Datasheet, signoff_datasheet
 from repro.evaluation.reporting import format_table
 from repro.evaluation.testbench import DynamicTestbench
+from repro.profiling import profile_step
 from repro.runtime.batch import (
     BatchResult,
     BatchRunner,
@@ -72,6 +73,15 @@ SIGNOFF_TEMPERATURES_C = (-40.0, 27.0, 125.0)
 @dataclass(frozen=True)
 class CampaignSpec:
     """The (corners x temperatures x dies) grid and its bench settings.
+
+    A spec fully determines the campaign's cells (:meth:`cells`, in the
+    shared :func:`~repro.technology.corners.pvt_grid` order) and its
+    resume identity (:meth:`fingerprint` — what a ledger must match to
+    be reused).  Execution choices — engine, chunking, workers — live
+    outside the spec because they cannot change any cell's metrics.
+    Under ``repro profile`` a cell measurement appears as a
+    ``task/measure-cell`` (serial) or ``task/measure-cell-chunk``
+    (vectorized) entry.
 
     Attributes:
         corners: process corners, grid-outermost.
@@ -317,6 +327,7 @@ def _cell_metrics(cell: CampaignCell, metrics) -> CellMetrics:
     )
 
 
+@profile_step("task", "measure-cell")
 def measure_cell(task: CellTask) -> CellMetrics:
     """Measure one cell with the serial :class:`DynamicTestbench`.
 
@@ -336,6 +347,7 @@ def measure_cell(task: CellTask) -> CellMetrics:
     return _cell_metrics(task.cell, metrics)
 
 
+@profile_step("task", "measure-cell-chunk")
 def measure_cell_chunk(task: CellChunkTask) -> tuple[CellMetrics, ...]:
     """Measure a cell chunk in one die-batched pass.
 

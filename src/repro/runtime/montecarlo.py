@@ -31,6 +31,7 @@ from repro.core.calibration import GainCalibration, GainCalibrationArray
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.reporting import format_table
+from repro.profiling import profile_step
 from repro.runtime.batch import (
     BatchResult,
     BatchRunner,
@@ -202,6 +203,7 @@ def _die_metrics(
     )
 
 
+@profile_step("task", "measure-die")
 def measure_die(task: DieTask) -> DieMetrics:
     """Measure one die: dynamic (SNDR/ENOB) and static (DNL/INL) screens.
 
@@ -294,6 +296,7 @@ class DieChunkTask:
             )
 
 
+@profile_step("task", "measure-die-chunk")
 def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
     """Measure a chunk of dies in one die-batched pass.
 

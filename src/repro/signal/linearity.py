@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.profiling import record
 
 
 @dataclass(frozen=True)
@@ -150,12 +151,13 @@ def histogram_linearity(
             f"codes must lie in [0, {n_codes}), got "
             f"[{data.min()}, {data.max()}]"
         )
-    counts = _code_counts(data, n_codes)
-    if data.ndim == 1:
-        return _linearity_from_counts(counts, n_codes, expected)
-    return [
-        _linearity_from_counts(row, n_codes, expected) for row in counts
-    ]
+    with record("analyze", "linearity"):
+        counts = _code_counts(data, n_codes)
+        if data.ndim == 1:
+            return _linearity_from_counts(counts, n_codes, expected)
+        return [
+            _linearity_from_counts(row, n_codes, expected) for row in counts
+        ]
 
 
 def ramp_linearity(

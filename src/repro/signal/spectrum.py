@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.profiling import record
 from repro.signal.metrics import HarmonicComponent, SpectrumMetrics
 from repro.signal.windows import Window, window_function
 
@@ -109,10 +110,11 @@ class SpectrumAnalyzer:
                 "analyze() takes one record; use analyze_batch() for a "
                 "(dies, n) block"
             )
-        power = self.power_spectrum(x)
-        return self._metrics_from_power(
-            power, x.size, sample_rate, fundamental_bin
-        )
+        with record("analyze", "spectrum"):
+            power = self.power_spectrum(x)
+            return self._metrics_from_power(
+                power, x.size, sample_rate, fundamental_bin
+            )
 
     def analyze_batch(
         self,
@@ -134,13 +136,14 @@ class SpectrumAnalyzer:
         x = np.asarray(samples, dtype=float)
         if x.ndim != 2:
             raise AnalysisError("analyze_batch() needs a (dies, n) block")
-        power = self.power_spectrum(x)
-        return [
-            self._metrics_from_power(
-                row, x.shape[-1], sample_rate, fundamental_bin
-            )
-            for row in power
-        ]
+        with record("analyze", "spectrum"):
+            power = self.power_spectrum(x)
+            return [
+                self._metrics_from_power(
+                    row, x.shape[-1], sample_rate, fundamental_bin
+                )
+                for row in power
+            ]
 
     def _metrics_from_power(
         self,

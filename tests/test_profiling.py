@@ -1,0 +1,254 @@
+"""The profiling layer: transparency, accounting identity, report schema.
+
+The instrumentation's contract has three legs (see the
+``repro.profiling`` module docstring): disabled mode is free and
+invisible, enabled mode never changes an output code, and the
+exclusive times of the recorded stages partition the profiled wall
+time exactly.  These tests pin all three plus the ``repro profile``
+surface.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.adc import PipelineAdc
+from repro.core.adc_array import AdcArray
+from repro.core.config import AdcConfig
+from repro.profiling import (
+    OVERLAY_STAGES,
+    PROFILE_SCHEMA,
+    ProfileRecorder,
+    active,
+    enabled,
+    env_enabled,
+    profile_step,
+    profiled,
+    record,
+)
+from repro.runtime.profiling import (
+    ENGINES,
+    PROFILE_REPORT_SCHEMA,
+    WORKLOADS,
+    profile_workload,
+)
+from repro.runtime.montecarlo import default_sampler
+from repro.signal.generators import SineGenerator
+
+RATE = 110e6
+
+
+def _tone(n):
+    return SineGenerator.coherent(10e6, RATE, n, amplitude=0.995)
+
+
+class TestTransparency:
+    """Profiling on/off is invisible in every output."""
+
+    def test_disabled_by_default(self):
+        assert not enabled()
+        assert active() is None
+
+    def test_codes_bit_exact_with_profiling_enabled(self):
+        config = AdcConfig.paper_default()
+        n = 256
+        baseline = PipelineAdc(config, RATE, seed=7).convert(_tone(n), n)
+        with profiled() as recorder:
+            profiled_run = PipelineAdc(config, RATE, seed=7).convert(
+                _tone(n), n
+            )
+        assert not enabled()  # scope restored
+        np.testing.assert_array_equal(baseline.codes, profiled_run.codes)
+        np.testing.assert_array_equal(
+            baseline.sample_times, profiled_run.sample_times
+        )
+        # ...and the profiled run actually recorded the engine stages.
+        stages = {stat.stage for stat in recorder.stats()}
+        assert {"build", "sample", "subadc", "mdac", "noise-draw"} <= stages
+
+    def test_array_codes_bit_exact_with_profiling_enabled(self):
+        config = AdcConfig.paper_default()
+        dies = default_sampler(config).sample(3, np.random.default_rng(5))
+        n = 256
+        baseline = AdcArray(config, RATE, dies).convert(_tone(n), n)
+        with profiled():
+            profiled_run = AdcArray(config, RATE, dies).convert(_tone(n), n)
+        np.testing.assert_array_equal(baseline.codes, profiled_run.codes)
+
+    def test_record_is_noop_when_disabled(self):
+        with record("mdac", "settle"):
+            pass
+        assert active() is None
+
+    def test_profile_step_passthrough_when_disabled(self):
+        @profile_step("task", "unit")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        with profiled() as recorder:
+            assert work(2) == 3
+        assert recorder.total_s("task", "unit") >= 0.0
+        assert recorder.stats()[0].count == 1
+
+    def test_env_gate_parsing(self):
+        assert not env_enabled({})
+        for off in ("", "0", "false", "off"):
+            assert not env_enabled({"REPRO_PROFILE": off})
+        assert env_enabled({"REPRO_PROFILE": "1"})
+
+
+class TestAccounting:
+    """Exclusive times partition the run exactly."""
+
+    def test_self_times_sum_to_root_total(self):
+        config = AdcConfig.paper_default()
+        n = 512
+        with profiled() as recorder:
+            with recorder.record("run", "unit"):
+                PipelineAdc(config, RATE, seed=3).convert(_tone(n), n)
+        total = recorder.total_s("run", "unit")
+        partition = sum(
+            stat.self_s
+            for stat in recorder.stats()
+            if stat.stage not in OVERLAY_STAGES
+        )
+        # The identity is exact by construction (self = total - children
+        # at every frame); the tolerance only absorbs float summation.
+        assert partition == pytest.approx(total, rel=1e-9)
+        # Inclusive >= exclusive for a stage with children.
+        amplify = next(
+            s
+            for s in recorder.stats()
+            if (s.stage, s.phase) == ("mdac", "amplify")
+        )
+        assert amplify.total_s > amplify.self_s > 0.0
+
+    def test_add_and_merge_fold_entries(self):
+        recorder = ProfileRecorder()
+        recorder.add("dispatch", "fn", 0.5, count=2)
+        other = ProfileRecorder()
+        other.add("dispatch", "fn", 0.25)
+        recorder.merge(other)
+        (stat,) = recorder.stats()
+        assert stat.count == 3
+        assert stat.total_s == pytest.approx(0.75)
+        assert stat.self_s == pytest.approx(0.75)
+        recorder.clear()
+        assert recorder.stats() == []
+
+    def test_recorder_document_schema(self):
+        recorder = ProfileRecorder()
+        with profiled(recorder):
+            with record("mdac", "settle"):
+                pass
+        document = recorder.to_dict()
+        assert document["schema"] == PROFILE_SCHEMA
+        assert document["entries"][0].keys() == {
+            "stage",
+            "phase",
+            "count",
+            "total_s",
+            "self_s",
+        }
+
+
+class TestProfileWorkload:
+    """The repro profile workloads and report document."""
+
+    def test_dynamic_screen_report(self):
+        report = profile_workload("dynamic-screen", dies=2, fft_points=256)
+        assert report.workload == "dynamic-screen"
+        assert report.n_items == 2
+        assert tuple(p.engine for p in report.engines) == ENGINES
+        for profile in report.engines:
+            assert profile.wall_s > 0
+            # The engine stages show up under both engines, and the
+            # partition never exceeds the run it partitions.
+            assert profile.stat("mdac", "settle") is not None
+            assert 0 < profile.attributed_fraction() <= 1.0 + 1e-9
+        rendered = report.render()
+        assert "mdac" in rendered and "noise-draw" in rendered
+        assert "attributed to named stages" in rendered
+
+    def test_report_json_document_stable(self):
+        report = profile_workload(
+            "dynamic-screen", dies=1, fft_points=256, engines=("serial",)
+        )
+        document = json.loads(report.to_json())
+        assert document["schema"] == PROFILE_REPORT_SCHEMA
+        assert document["workload"] in WORKLOADS
+        assert document["n_items"] == 1
+        assert document["fft_points"] == 256
+        (engine,) = document["engines"]
+        assert engine.keys() == {
+            "engine",
+            "wall_s",
+            "n_items",
+            "item_wall_s",
+            "attributed_fraction",
+            "stage_shares",
+            "entries",
+        }
+        assert "run" not in engine["stage_shares"]
+        assert not OVERLAY_STAGES & engine["stage_shares"].keys()
+
+    def test_unknown_inputs_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            profile_workload("nope")
+        with pytest.raises(ConfigurationError):
+            profile_workload("dynamic-screen", engines=("gpu",))
+        with pytest.raises(ConfigurationError):
+            profile_workload("dynamic-screen", dies=0)
+
+
+class TestProfileCli:
+    """repro profile through the real CLI entry point."""
+
+    def test_profile_smoke(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "dynamic-screen",
+                "--dies",
+                "1",
+                "--fft-points",
+                "256",
+                "--engine",
+                "serial",
+                "--json",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "repro profile: dynamic-screen" in captured.out
+        document = json.loads(out.read_text())
+        assert document["schema"] == PROFILE_REPORT_SCHEMA
+
+    def test_profile_rejects_bad_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "nope"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_profile_unwritable_json_exits_2(self, capsys, tmp_path):
+        code = main(
+            [
+                "profile",
+                "dynamic-screen",
+                "--dies",
+                "1",
+                "--fft-points",
+                "256",
+                "--engine",
+                "serial",
+                "--json",
+                str(tmp_path / "missing-dir" / "p.json"),
+            ]
+        )
+        assert code == 2
