@@ -138,6 +138,17 @@ def build_mc_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--precision",
+        choices=("exact", "fast"),
+        default="exact",
+        help=(
+            "'exact' is bit-exact across engines; 'fast' runs the "
+            "vectorized engine in float32 with fused noise draws — "
+            "statistically equivalent metrics (documented ENOB/SNDR "
+            "tolerance), faster (default exact)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -331,6 +342,17 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--precision",
+        choices=("exact", "fast"),
+        default="exact",
+        help=(
+            "'exact' is bit-exact across engines; 'fast' runs the "
+            "vectorized engine in float32 with fused noise draws — "
+            "statistically equivalent metrics, faster; part of the "
+            "ledger fingerprint (default exact)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -503,6 +525,7 @@ def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
         conversion_rate=args.rate,
         input_frequency=args.fin,
         n_samples=args.fft_points,
+        precision=args.precision,
     )
     report = run_campaign(
         spec,
@@ -553,6 +576,7 @@ def run_mc(argv: Sequence[str] | None = None) -> int:
         engine=args.engine,
         calibrate=args.calibrate,
         calibration_samples_per_code=args.cal_samples,
+        precision=args.precision,
         die_chunk=args.die_chunk,
         workers=args.workers,
         chunk_size=args.chunk_size,

@@ -372,6 +372,7 @@ class PipelineAdc:
         held_values: np.ndarray,
         noise_seed: int | None = None,
         stream: int = SAMPLES_NOISE_STREAM,
+        fast: bool = False,
     ) -> ConversionResult:
         """Digitize pre-acquired held voltages (bypasses the front end).
 
@@ -389,6 +390,10 @@ class PipelineAdc:
                 pass :data:`repro.streams.CALIBRATION_NOISE_STREAM` so
                 they stay independent of measurement noise; ignored
                 when an explicit ``noise_seed`` is given.
+            fast: run the stage chain in the float32 fused-draw tier
+                (see ``precision`` on
+                :class:`~repro.core.adc_array.AdcArray`) — not bit-exact
+                with the default path.
         """
         held = np.asarray(held_values, dtype=float)
         if held.ndim != 1:
@@ -407,7 +412,7 @@ class PipelineAdc:
         skip = self.correction.latency_cycles
         padded = np.concatenate([np.zeros(skip), held])
         times = np.arange(padded.size) * self.timing.period
-        return self._convert_held(padded, times, rng, skip)
+        return self._convert_held(padded, times, rng, skip, fast=fast)
 
     def _convert_held(
         self,
@@ -415,6 +420,7 @@ class PipelineAdc:
         times: np.ndarray,
         rng: np.random.Generator,
         skip: int,
+        fast: bool = False,
     ) -> ConversionResult:
         total = held.size
         with record("references", "window"):
@@ -423,7 +429,7 @@ class PipelineAdc:
         residue = held
         for stage, refs in zip(self.stages, references):
             output = stage.process(
-                residue, refs, self.operating_point, rng
+                residue, refs, self.operating_point, rng, fast=fast
             )
             stage_codes[:, stage.index] = output.codes
             residue = output.residues

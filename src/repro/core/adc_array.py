@@ -25,6 +25,12 @@ The front-end acquisition (tracking, pedestal, droop) runs per die —
 its switch physics is scalar in the per-die operating point and it is a
 small, fixed slice of the conversion — while everything downstream of
 the held voltages is batched.
+
+The contract above holds for the default ``precision="exact"`` tier.
+The opt-in ``precision="fast"`` tier trades it away deliberately:
+float32 stage arithmetic and one fused output-referred MDAC noise draw
+per stage, gated by statistical equivalence (ENOB/SNDR within a
+documented tolerance) instead of bitwise identity.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import numpy as np
 from repro.analog.clocking import PhaseTiming
 from repro.core.adc import ConversionResult, DifferentialSignal, PipelineAdc
 from repro.core.config import AdcConfig
+from repro.core.die_cache import build_die
 from repro.core.flash import FlashBackend
 from repro.core.stage import PipelineStage
 from repro.errors import ConfigurationError
@@ -57,8 +64,13 @@ from repro.technology.montecarlo import ProcessSample
 #: dominated by Python dispatch, which batching amortizes.  The per-die
 #: noise-stream contract makes the two execution orders bit-exact, so
 #: this is purely a throughput heuristic (measured crossover ~4k
-#: samples in benchmarks/bench_engines.py workloads).
-_PER_DIE_RECORD_SAMPLES = 4096
+#: samples in benchmarks/bench_engines.py workloads).  Override per
+#: configuration via :attr:`repro.core.config.AdcConfig.per_die_record_threshold`
+#: (excluded from campaign fingerprints for exactly that reason).
+PER_DIE_RECORD_SAMPLES = 4096
+
+#: Allowed ``AdcArray`` precision tiers.
+PRECISION_TIERS = ("exact", "fast")
 
 
 @dataclass(frozen=True)
@@ -114,9 +126,15 @@ class AdcArray:
         samples: the die realizations — a list of
             :class:`~repro.technology.montecarlo.ProcessSample` or a
             :class:`~repro.technology.montecarlo.ProcessSampleArray`.
+        precision: ``"exact"`` (default) is bit-exact with the per-die
+            converters; ``"fast"`` runs the stage chain in float32 with
+            one fused output-referred MDAC noise draw per stage —
+            statistically equivalent (documented ENOB/SNDR tolerance),
+            never bitwise.
 
     Raises:
-        ConfigurationError: for an empty population.
+        ConfigurationError: for an empty population or an unknown
+            precision tier.
         ModelDomainError: if the clock scheme leaves no settling window
             at the requested rate.
     """
@@ -126,16 +144,24 @@ class AdcArray:
         config: AdcConfig,
         conversion_rate: float,
         samples: Sequence[ProcessSample],
+        precision: str = "exact",
     ):
         samples = list(samples)
         if not samples:
             raise ConfigurationError("AdcArray needs at least one die")
+        if precision not in PRECISION_TIERS:
+            raise ConfigurationError(
+                f"precision must be one of {PRECISION_TIERS}, "
+                f"got '{precision}'"
+            )
         self.config = config
         self.conversion_rate = conversion_rate
+        self.precision = precision
         #: Per-die converters; construction replays each die's frozen
-        #: mismatch draws exactly as the per-die path would.
+        #: mismatch draws exactly as the per-die path would (reused
+        #: from the die cache when the key was built before).
         self.dies: list[PipelineAdc] = [
-            PipelineAdc(
+            build_die(
                 config,
                 conversion_rate,
                 operating_point=sample.operating_point,
@@ -298,8 +324,12 @@ class AdcArray:
         streams: DieStreams,
         skip: int,
     ) -> ArrayConversionResult:
-        if self.n_dies > 1 and held.shape[1] - skip > _PER_DIE_RECORD_SAMPLES:
-            return self._convert_held_per_die(held, times, streams, skip)
+        fast = self.precision == "fast"
+        threshold = self.config.per_die_record_threshold
+        if threshold is None:
+            threshold = PER_DIE_RECORD_SAMPLES
+        if self.n_dies > 1 and held.shape[1] - skip > threshold:
+            return self._convert_held_per_die(held, times, streams, skip, fast)
         total = held.shape[1]
         with record("references", "window"):
             references = self._stage_references(total, streams)
@@ -309,7 +339,7 @@ class AdcArray:
         residue = held
         for stage, refs in zip(self.stages, references):
             output = stage.process(
-                residue, refs, self.operating_points, streams
+                residue, refs, self.operating_points, streams, fast=fast
             )
             stage_codes[:, :, stage.index] = output.codes
             residue = output.residues
@@ -336,16 +366,21 @@ class AdcArray:
         times: np.ndarray,
         streams: DieStreams,
         skip: int,
+        fast: bool = False,
     ) -> ArrayConversionResult:
         """Row-at-a-time execution of a long batched conversion.
 
         Bit-exact with the blocked path (each die draws only from its
-        own stream either way); chosen above
-        :data:`_PER_DIE_RECORD_SAMPLES` where cache residency beats
+        own stream either way, and the stage arithmetic is elementwise
+        in both precision tiers); chosen above
+        :data:`PER_DIE_RECORD_SAMPLES` where cache residency beats
         dispatch amortization.
         """
         results = [
-            die._convert_held(held[index], times[index], streams.generator(index), skip)
+            die._convert_held(
+                held[index], times[index], streams.generator(index), skip,
+                fast=fast,
+            )
             for index, die in enumerate(self.dies)
         ]
         return ArrayConversionResult(

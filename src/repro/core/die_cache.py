@@ -1,0 +1,123 @@
+"""Content-addressed cache of constructed dies.
+
+Building one die costs ~1 ms — a bias operating-point solve, ten opamp
+designs, and the frozen mismatch draws — and the measured cost model
+(docs/performance.md) puts it at ~8-10% of a campaign cell.  Yet a die
+is a pure function of four values: the electrical configuration, the
+conversion rate, the PVT operating point, and the die seed.  Identical
+keys always construct identical dies (the mismatch draws replay from
+the seed alone), and a constructed :class:`~repro.core.adc.PipelineAdc`
+is immutable for its lifetime — conversions derive their noise streams
+fresh from the die seed on every call and hold no cross-call state — so
+reusing one is observable only as saved wall time, never in a single
+output bit.
+
+:func:`build_die` is the factory every engine path goes through
+(:class:`~repro.core.adc_array.AdcArray`, the serial testbench, the
+Monte Carlo die tasks).  Hits and misses are counted per process and,
+when profiling is active, folded into the profile report as
+zero-duration ``build/die-cache-*`` entries so `repro profile` shows
+the hit rate next to the ``build/die`` cost it saved.
+
+The cache is per process (worker processes each grow their own — the
+runtime dispatches whole cells, so a worker reuses dies across the
+cells of its own task stream) and bounded LRU; benchmarks clear it
+between engine configurations (:func:`clear`) so timed comparisons
+never inherit a warm cache from a rival engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.adc import PipelineAdc
+from repro.core.config import AdcConfig
+from repro.profiling import active
+from repro.technology.corners import OperatingPoint
+
+#: Upper bound on cached dies per process.  A die is a few kilobytes of
+#: floats, so the bound is about predictability, not memory pressure:
+#: one campaign chunk touches at most (corners x temperatures x dies)
+#: distinct keys and typical grids stay well under this.
+MAX_CACHED_DIES = 256
+
+_cache: OrderedDict[tuple, PipelineAdc] = OrderedDict()
+_hits = 0
+_misses = 0
+_enabled = True
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of the process-local die cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+def build_die(
+    config: AdcConfig,
+    conversion_rate: float,
+    operating_point: OperatingPoint | None = None,
+    seed: int = 0,
+) -> PipelineAdc:
+    """A die for the given key — cached when one was built before.
+
+    Drop-in for the :class:`~repro.core.adc.PipelineAdc` constructor;
+    the returned instance is bit-identical to a fresh construction
+    (same config -> same electrical parameters, same seed -> same
+    frozen mismatch draws), so callers may share it freely.
+    """
+    if not _enabled:
+        return PipelineAdc(config, conversion_rate, operating_point, seed)
+    resolved = operating_point or OperatingPoint(technology=config.technology)
+    key = (config, float(conversion_rate), resolved, int(seed))
+    global _hits, _misses
+    die = _cache.get(key)
+    if die is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        recorder = active()
+        if recorder is not None:
+            recorder.add("build", "die-cache-hit", 0.0)
+        return die
+    _misses += 1
+    recorder = active()
+    if recorder is not None:
+        recorder.add("build", "die-cache-miss", 0.0)
+    die = PipelineAdc(config, conversion_rate, resolved, seed)
+    _cache[key] = die
+    if len(_cache) > MAX_CACHED_DIES:
+        _cache.popitem(last=False)
+    return die
+
+
+def clear() -> None:
+    """Drop every cached die and zero the counters.
+
+    Benchmarks call this between engine configurations so no timed run
+    starts with a cache another configuration warmed.
+    """
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def stats() -> CacheStats:
+    """Current process-local counters."""
+    return CacheStats(hits=_hits, misses=_misses, size=len(_cache))
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Toggle the cache (tests and bench baselines); returns the old state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous

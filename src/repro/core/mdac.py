@@ -26,12 +26,63 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.devices.opamp import TwoStageMillerOpamp
+from repro.devices.opamp import SettleConstants, TwoStageMillerOpamp
 from repro.errors import ConfigurationError
 from repro.profiling import record
-from repro.streams import any_true, shared_value
+from repro.streams import any_true, normal_pair, shared_value
 from repro.technology.corners import OperatingPoint, OperatingPointArray
 from repro.units import BOLTZMANN
+
+
+@dataclass(frozen=True)
+class _AmplifyConstants:
+    """Per-(die, operating point) invariants of the residue transfer.
+
+    Everything :meth:`Mdac.amplify` needs per call but that only changes
+    with the bias point: recomputing these per sample batch was ~a third
+    of the settle-path cost.  Built lazily by :meth:`Mdac._constants`
+    and cached on the (frozen) MDAC keyed by operating-point identity —
+    converters hold one operating-point object for their lifetime, so
+    the single slot hits on every conversion after the first.
+
+    Fields are floats for one die or (dies, 1) columns for a stacked
+    MDAC; ``None`` where the matching impairment switch is off.
+    """
+
+    feedback_factor: object
+    capacitor_ratio: object
+    gain_factor: object
+    sampling_noise_rms: object
+    opamp_noise_rms: object
+    settle: SettleConstants | None
+
+
+@dataclass(frozen=True)
+class _FastAmplifyConstants:
+    """Float32 residue-transfer invariants of the ``precision="fast"`` tier.
+
+    The fast tier rewrites the residue as ``signal_gain * v -
+    dac_gain * d * vref`` (both products folded with the static gain
+    factor) and replaces the per-stage pair of noise draws with one
+    output-referred draw: the input-referred kT/C noise is carried to
+    the output through the linear closed-loop gain, so
+
+        output_noise_rms = sqrt((signal_gain * rms_s)^2 + rms_o^2)
+
+    This is an approximation — the exact path pushes the sampling noise
+    through the slewing nonlinearity and the compression — which is why
+    the tier is gated statistically (ENOB/SNDR tolerance), never
+    bitwise.  All fields are float32 (scalars or (dies, 1) columns)
+    except ``output_noise_rms``, which stays float64 because the stream
+    layer fills float64 buffers; the in-place add casts it once.
+    """
+
+    signal_gain: object
+    dac_gain: object
+    output_noise_rms: object
+    output_swing: object
+    compression: object
+    settle: SettleConstants | None
 
 
 @dataclass(frozen=True)
@@ -154,6 +205,97 @@ class Mdac:
             2.0 * BOLTZMANN * operating_point.temperature_k / c_actual
         )
 
+    def _constants(
+        self, operating_point: OperatingPoint | OperatingPointArray
+    ) -> _AmplifyConstants:
+        """The cached per-operating-point amplify invariants.
+
+        Identity-keyed, single slot: each converter passes the one
+        operating-point object it was built with, so the cache computes
+        once per (die, bias point) and hits for every later batch.  The
+        values are the exact ones the uncached expressions produce —
+        caching cannot move a bit.
+        """
+        cached = self.__dict__.get("_op_constants")
+        if cached is not None and cached[0] is operating_point:
+            return cached[1]
+        beta = self.feedback_factor
+        constants = _AmplifyConstants(
+            feedback_factor=beta,
+            capacitor_ratio=self.capacitor_ratio,
+            gain_factor=1.0 - self.opamp.static_gain_error(beta),
+            sampling_noise_rms=(
+                self.sampling_noise_rms(operating_point)
+                if self.include_sampling_noise
+                else None
+            ),
+            opamp_noise_rms=(
+                self.opamp.sampled_noise_rms(
+                    feedback_factor=beta,
+                    load_capacitance=self.load_capacitance,
+                    temperature_k=operating_point.temperature_k,
+                )
+                if self.include_noise
+                else None
+            ),
+            settle=(
+                self.opamp.settle_constants(self.settle_time, beta)
+                if self.include_settling
+                else None
+            ),
+        )
+        object.__setattr__(self, "_op_constants", (operating_point, constants))
+        return constants
+
+    def _fast_constants(
+        self, operating_point: OperatingPoint | OperatingPointArray
+    ) -> _FastAmplifyConstants:
+        """The cached float32 invariants of the fast tier.
+
+        Same identity-keyed single-slot caching as :meth:`_constants`
+        (which it builds on, so the underlying physics values are
+        computed once either way).
+        """
+        cached = self.__dict__.get("_op_fast_constants")
+        if cached is not None and cached[0] is operating_point:
+            return cached[1]
+        c = self._constants(operating_point)
+
+        def f32(value):
+            return np.asarray(value, dtype=np.float32)
+
+        signal_gain = (1.0 + c.capacitor_ratio) * c.gain_factor
+        dac_gain = c.capacitor_ratio * c.gain_factor
+        if c.sampling_noise_rms is not None and c.opamp_noise_rms is not None:
+            output_noise = np.sqrt(
+                (signal_gain * c.sampling_noise_rms) ** 2
+                + c.opamp_noise_rms**2
+            )
+        elif c.sampling_noise_rms is not None:
+            output_noise = signal_gain * c.sampling_noise_rms
+        else:
+            output_noise = c.opamp_noise_rms
+        settle = c.settle
+        if settle is not None:
+            settle = SettleConstants(
+                settle_time=settle.settle_time,
+                tau=f32(settle.tau),
+                decay=f32(settle.decay),
+                knee=f32(settle.knee),
+            )
+        constants = _FastAmplifyConstants(
+            signal_gain=f32(signal_gain),
+            dac_gain=f32(dac_gain),
+            output_noise_rms=output_noise,
+            output_swing=f32(self.opamp.parameters.output_swing),
+            compression=f32(self.opamp.parameters.compression),
+            settle=settle,
+        )
+        object.__setattr__(
+            self, "_op_fast_constants", (operating_point, constants)
+        )
+        return constants
+
     # --- the residue transfer -------------------------------------------
 
     def target_residue(
@@ -178,6 +320,7 @@ class Mdac:
         references: np.ndarray,
         operating_point: OperatingPoint | OperatingPointArray,
         rng,
+        fast: bool = False,
     ) -> np.ndarray:
         """Produce the residue actually delivered to the next stage [V].
 
@@ -192,14 +335,36 @@ class Mdac:
                 for stacked runs).
             rng: generator (or :class:`repro.streams.DieStreams`) for
                 noise draws.
+            fast: run the ``precision="fast"`` tier — float32 state and
+                one fused output-referred noise draw per stage.  Not
+                bit-exact with the default path; statistically
+                equivalent within the documented ENOB/SNDR tolerance.
         """
+        if fast:
+            return self._amplify_fast(
+                inputs, codes, references, operating_point, rng
+            )
+        c = self._constants(operating_point)
         v = np.asarray(inputs, dtype=float)
-        if self.include_sampling_noise:
+        opamp_noise = None
+        if self.include_sampling_noise and self.include_noise:
+            # The two per-stage draws are consecutive in the stream (no
+            # draw happens between them), so one fused Generator call
+            # serves both — bit-exact, see streams.normal_pair.
+            with record("noise-draw", "mdac-pair"):
+                sampling_noise, opamp_noise = normal_pair(
+                    rng, c.sampling_noise_rms, c.opamp_noise_rms, v.shape
+                )
+            v = v + sampling_noise
+        elif self.include_sampling_noise:
             with record("noise-draw", "mdac-sampling"):
                 v = v + rng.normal(
-                    0.0, self.sampling_noise_rms(operating_point), size=v.shape
+                    0.0, c.sampling_noise_rms, size=v.shape
                 )
-        target = self.target_residue(v, codes, references)
+        ratio = c.capacitor_ratio
+        d = np.asarray(codes, dtype=float)
+        vref = np.asarray(references, dtype=float)
+        target = ((1.0 + ratio) * v - ratio * d * vref) * c.gain_factor
         with record("mdac", "settle"):
             if self.include_settling:
                 # The output node is reset toward CM during phi1 (the
@@ -209,20 +374,65 @@ class Mdac:
                     target=target,
                     initial=0.0,
                     settle_time=self.settle_time,
-                    feedback_factor=self.feedback_factor,
+                    feedback_factor=c.feedback_factor,
+                    constants=c.settle,
                 )
                 residue = result.output
             else:
                 residue = target
             residue = self.opamp.compress(residue)
-        if self.include_noise:
-            noise = self.opamp.sampled_noise_rms(
-                feedback_factor=self.feedback_factor,
-                load_capacitance=self.load_capacitance,
-                temperature_k=operating_point.temperature_k,
-            )
+        if opamp_noise is not None:
+            residue = residue + opamp_noise
+        elif self.include_noise:
             with record("noise-draw", "mdac-opamp"):
-                residue = residue + rng.normal(0.0, noise, size=residue.shape)
+                residue = residue + rng.normal(
+                    0.0, c.opamp_noise_rms, size=residue.shape
+                )
+        return residue
+
+    def _amplify_fast(
+        self,
+        inputs: np.ndarray,
+        codes: np.ndarray,
+        references: np.ndarray,
+        operating_point: OperatingPoint | OperatingPointArray,
+        rng,
+    ) -> np.ndarray:
+        """The ``precision="fast"`` residue transfer: float32, one draw.
+
+        Same physics as :meth:`amplify` with two deliberate trades (see
+        :class:`_FastAmplifyConstants`): float32 arithmetic through the
+        settle/compress chain, and the per-stage sampling+opamp noise
+        pair collapsed into a single output-referred draw.  Consumes a
+        different number of stream values than the exact path, so codes
+        differ sample-by-sample; the population metrics agree within
+        the statistical-equivalence gate.
+        """
+        c = self._fast_constants(operating_point)
+        v = np.asarray(inputs, dtype=np.float32)
+        d = np.asarray(codes, dtype=np.float32)
+        vref = np.asarray(references, dtype=np.float32)
+        target = c.signal_gain * v
+        target -= c.dac_gain * d * vref
+        with record("mdac", "settle"):
+            if self.include_settling:
+                target = self.opamp.settle(
+                    target=target,
+                    initial=0.0,
+                    settle_time=self.settle_time,
+                    feedback_factor=None,
+                    constants=c.settle,
+                ).output
+            residue = self.opamp.compress(
+                target, swing=c.output_swing, compression=c.compression
+            )
+        residue = np.asarray(residue, dtype=np.float32)
+        if c.output_noise_rms is not None:
+            with record("noise-draw", "mdac-fused"):
+                noise = rng.normal(
+                    0.0, c.output_noise_rms, size=residue.shape
+                )
+            residue += noise
         return residue
 
     def settling_error_bound(self):

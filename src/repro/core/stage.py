@@ -71,6 +71,7 @@ class PipelineStage:
         references: np.ndarray,
         operating_point: OperatingPoint | OperatingPointArray,
         rng,
+        fast: bool = False,
     ) -> StageOutput:
         """Run the stage over a sample array.
 
@@ -83,6 +84,9 @@ class PipelineStage:
                 for stacked runs).
             rng: generator (or :class:`repro.streams.DieStreams`) for
                 decision noise / MDAC noise.
+            fast: run the MDAC through the ``precision="fast"`` tier
+                (float32, fused noise draw; statistically gated, not
+                bit-exact).
 
         Returns:
             The decisions and the residues for the next stage.
@@ -91,7 +95,7 @@ class PipelineStage:
             codes = self.subadc.decide(inputs, rng)
         with record("mdac", "amplify"):
             residues = self.mdac.amplify(
-                inputs, codes, references, operating_point, rng
+                inputs, codes, references, operating_point, rng, fast=fast
             )
         return StageOutput(codes=codes, residues=residues)
 

@@ -90,6 +90,46 @@ class OpampParameters:
 
 
 @dataclass(frozen=True)
+class SettleConstants:
+    """Per-bias-point invariants of the two-regime settling solution.
+
+    Everything here is frozen once an amplifier's bias point and the
+    phase budget are fixed — per die, not per sample batch — so hot
+    paths compute it once (:meth:`TwoStageMillerOpamp.settle_constants`)
+    and hand it back to every :meth:`TwoStageMillerOpamp.settle` call.
+
+    Attributes:
+        settle_time: the phi2 window the constants were built for [s].
+        tau: closed-loop time constant 1/(2*pi*beta*GBW) [s].
+        decay: linear settling factor ``exp(-settle_time/tau)``.
+        knee: error level ``SR*tau`` where slewing hands over to the
+            exponential regime [V].
+
+    Each field is a float, or a (dies, 1) column for a die-stacked
+    amplifier.
+    """
+
+    settle_time: float
+    tau: float | np.ndarray
+    decay: float | np.ndarray
+    knee: float | np.ndarray
+
+
+def _at(value, index, shape):
+    """``value`` gathered at ``index`` positions of a ``shape`` block.
+
+    Settling parameters are scalars (one die) or (dies, 1) columns (a
+    stacked batch); the sparse slewing path needs them per selected
+    sample.  Scalars pass through; columns are broadcast (a view, no
+    copy) and gathered.
+    """
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return value
+    return np.broadcast_to(arr, shape)[index]
+
+
+@dataclass(frozen=True)
 class SettlingResult:
     """Outcome of a vectorized settling evaluation.
 
@@ -164,12 +204,35 @@ class TwoStageMillerOpamp:
 
     # --- settling -------------------------------------------------------
 
+    def settle_constants(
+        self, settle_time: float, feedback_factor: float
+    ) -> SettleConstants:
+        """Precompute the per-bias-point settling invariants.
+
+        The MDAC holds these per die (they change only with the bias
+        point and the phase budget) and passes them back into
+        :meth:`settle`, which then skips the per-call recomputation and
+        validation.
+        """
+        if settle_time <= 0:
+            raise ModelDomainError(
+                f"settle time must be positive, got {settle_time}"
+            )
+        tau = self.closed_loop_tau(feedback_factor)
+        return SettleConstants(
+            settle_time=settle_time,
+            tau=tau,
+            decay=np.exp(-settle_time / tau),
+            knee=self.parameters.slew_rate * tau,
+        )
+
     def settle(
         self,
         target: np.ndarray,
         initial: np.ndarray | float,
         settle_time: float,
         feedback_factor: float,
+        constants: SettleConstants | None = None,
     ) -> SettlingResult:
         """Settle from ``initial`` toward ``target`` for ``settle_time``.
 
@@ -186,38 +249,88 @@ class TwoStageMillerOpamp:
             initial: starting output per sample (scalar broadcastable).
             settle_time: available amplification window [s].
             feedback_factor: closed-loop beta of the MDAC.
+            constants: precomputed invariants from
+                :meth:`settle_constants` (built for the same window and
+                beta); computed on the fly when omitted.
 
         Returns:
             :class:`SettlingResult` with the actually reached output.
-        """
-        if settle_time <= 0:
-            raise ModelDomainError(
-                f"settle time must be positive, got {settle_time}"
-            )
-        tau = self.closed_loop_tau(feedback_factor)
-        slew_rate = self.parameters.slew_rate
-        target = np.asarray(target, dtype=float)
-        start = np.broadcast_to(
-            np.asarray(initial, dtype=float), target.shape
-        ).astype(float)
 
-        step = target - start
+        Every arithmetic path below evaluates the identical IEEE
+        expressions in the identical order, so the result is bit-exact
+        regardless of which branch runs (``tests/test_opamp.py`` pins
+        this against a dense reference evaluation).
+        """
+        if constants is None:
+            constants = self.settle_constants(settle_time, feedback_factor)
+        settle_time = constants.settle_time
+        tau = constants.tau
+        slew_rate = self.parameters.slew_rate
+        target = np.asarray(target)
+        if target.dtype not in (np.float32, np.float64):
+            target = target.astype(float)
+        if isinstance(initial, (int, float)) and initial == 0.0:
+            # The MDAC resets its output toward CM every phi1, so the
+            # hot path always starts from zero: ``target - 0.0`` is
+            # ``target`` bit for bit (IEEE: x - 0.0 == x, including
+            # signed zeros), so skip the subtraction and the broadcast.
+            start = 0.0
+            step = target
+        else:
+            start = np.broadcast_to(
+                np.asarray(initial, dtype=target.dtype), target.shape
+            )
+            step = target - start
         magnitude = np.abs(step)
-        linear_knee = slew_rate * tau  # error level where slewing hands over
+        linear_knee = constants.knee  # error level where slewing hands over
 
         slewing = magnitude > linear_knee
-        if not np.any(slewing):
+        n_slewing = int(np.count_nonzero(slewing))
+        if n_slewing == 0:
             # Pure exponential settling everywhere: the decay factor is
             # constant per amplifier, so the whole block reduces to a
             # single fused expression.  Bit-identical to the general
             # path below (IEEE multiplication is sign-symmetric).
-            decay = np.exp(-settle_time / tau)
             return SettlingResult(
-                output=target - step * decay,
+                output=target - step * constants.decay,
                 slewing_fraction=0.0,
                 incomplete_fraction=0.0,
             )
+        total = target.size if target.size else 1
         sign = np.sign(step)
+        if n_slewing * 2 <= total:
+            # Sparse fast path: most samples settle exponentially, where
+            # the residual is just ``magnitude * decay`` (``linear_time``
+            # equals the full window exactly when no time was slewed).
+            # The slew arithmetic — including the only exp() over
+            # non-constant input — runs on the slewing samples alone.
+            index = np.nonzero(slewing)
+            shape = target.shape
+            mag_s = magnitude[index]
+            knee_s = _at(linear_knee, index, shape)
+            slew_s = _at(slew_rate, index, shape)
+            tau_s = _at(tau, index, shape)
+            sign_s = sign[index]
+            start_s = start[index] if isinstance(start, np.ndarray) else start
+            t_slew_s = (mag_s - knee_s) / slew_s
+            still_s = t_slew_s >= settle_time
+            linear_time_s = np.maximum(settle_time - t_slew_s, 0.0)
+            residual_s = knee_s * np.exp(-linear_time_s / tau_s)
+            # magnitude doubles as the signed-residual buffer from here.
+            residual = magnitude
+            residual *= constants.decay
+            residual *= sign
+            output = target - residual
+            output[index] = np.where(
+                still_s,
+                start_s + sign_s * slew_s * settle_time,
+                target[index] - sign_s * residual_s,
+            )
+            return SettlingResult(
+                output=output,
+                slewing_fraction=float(n_slewing) / total,
+                incomplete_fraction=float(np.count_nonzero(still_s)) / total,
+            )
         # Time spent slewing to bring the error down to the knee.
         t_slew = np.where(slewing, (magnitude - linear_knee) / slew_rate, 0.0)
 
@@ -231,27 +344,47 @@ class TwoStageMillerOpamp:
             start + sign * slew_rate * settle_time,
             target - sign * residual,
         )
-        total = target.size if target.size else 1
         return SettlingResult(
             output=output,
-            slewing_fraction=float(np.count_nonzero(slewing)) / total,
+            slewing_fraction=float(n_slewing) / total,
             incomplete_fraction=float(np.count_nonzero(still_slewing)) / total,
         )
 
     # --- static nonlinearity and noise ----------------------------------
 
-    def compress(self, output: np.ndarray) -> np.ndarray:
+    def compress(
+        self, output: np.ndarray, swing=None, compression=None
+    ) -> np.ndarray:
         """Apply the output-stage soft compression and hard clip.
 
         ``v -> v * (1 - c*(v/Vmax)^2)`` inside the swing, hard-clipped at
         ``+-Vmax``.  The cubic term contributes the (small) static HD3
         floor of the converter.
+
+        ``swing``/``compression`` override the instance parameters; the
+        fast precision tier passes float32 copies so a float32 block is
+        compressed without promoting back to float64.
         """
         p = self.parameters
-        v = np.asarray(output, dtype=float)
-        normalized = np.clip(v / p.output_swing, -1.0, 1.0)
-        compressed = v * (1.0 - p.compression * normalized**2)
-        return np.clip(compressed, -p.output_swing, p.output_swing)
+        if swing is None:
+            swing = p.output_swing
+        if compression is None:
+            compression = p.compression
+        v = np.asarray(output)
+        if v.dtype not in (np.float32, np.float64):
+            v = v.astype(float)
+        # One working buffer end to end; every in-place step evaluates
+        # the same IEEE expression as the naive chain
+        # ``clip(v * (1 - c * clip(v/Vmax, -1, 1)^2), -Vmax, Vmax)``
+        # (multiplication is commutative and sign-symmetric bit for
+        # bit), so this is purely an allocation saving.
+        work = v / swing
+        np.clip(work, -1.0, 1.0, out=work)
+        work *= work
+        work *= -compression
+        work += 1.0
+        work *= v
+        return np.clip(work, -swing, swing, out=work)
 
     def sampled_noise_rms(
         self,

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.adc import PipelineAdc
 from repro.core.config import AdcConfig
+from repro.core.die_cache import build_die
 from repro.core.power import PowerBreakdown, PowerModel
 from repro.errors import ConfigurationError
 from repro.signal.generators import SineGenerator
@@ -54,10 +55,15 @@ class DynamicTestbench:
             raise ConfigurationError("amplitude fraction must be in (0, 1]")
 
     def build(self, conversion_rate: float) -> PipelineAdc:
-        """Instantiate the die at a conversion rate."""
-        return PipelineAdc(
+        """Instantiate the die at a conversion rate.
+
+        Goes through the die cache: a frequency sweep re-measures one
+        physical die, so every point after the first reuses the
+        constructed instance instead of re-running the bias solve.
+        """
+        return build_die(
             self.config,
-            conversion_rate=conversion_rate,
+            conversion_rate,
             operating_point=self.operating_point,
             seed=self.die_seed,
         )
@@ -154,9 +160,9 @@ class StaticTestbench:
         (held values): a static test is deliberately slow enough that
         front-end tracking plays no role.
         """
-        adc = PipelineAdc(
+        adc = build_die(
             self.config,
-            conversion_rate=conversion_rate,
+            conversion_rate,
             operating_point=self.operating_point,
             seed=self.die_seed,
         )

@@ -54,7 +54,11 @@ stage / phase           what it times
 ``analyze/linearity``   code-density histogram INL/DNL extraction
 ``noise-draw/*``        every per-sample random draw: ``jitter``,
                         ``sample-ktc``, ``reference``, ``comparator``,
-                        ``mdac-sampling``, ``mdac-opamp``
+                        ``mdac-pair`` (the fused per-stage
+                        sampling+opamp draw), ``mdac-fused`` (the single
+                        output-referred draw of the fast precision
+                        tier), plus ``mdac-sampling`` / ``mdac-opamp``
+                        when only one of the two MDAC draws is enabled
 ``dispatch/*``          BatchRunner task wall times (worker-side,
                         aggregated by the dispatching process; overlaps
                         the stages above, so it is reported separately

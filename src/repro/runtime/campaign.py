@@ -97,6 +97,10 @@ class CampaignSpec:
         input_frequency: test-tone target frequency [Hz].
         n_samples: coherent FFT record length per cell.
         amplitude_fraction: stimulus amplitude relative to full scale.
+        precision: ``"exact"`` (default; cell metrics bit-exact across
+            engines) or ``"fast"`` — the vectorized-only float32 +
+            fused-draw tier.  Part of the fingerprint: a fast ledger
+            never resumes an exact campaign or vice versa.
     """
 
     corners: tuple[Corner, ...] = tuple(Corner)
@@ -109,8 +113,13 @@ class CampaignSpec:
     input_frequency: float = 10e6
     n_samples: int = 4096
     amplitude_fraction: float = 0.995
+    precision: str = "exact"
 
     def __post_init__(self) -> None:
+        if self.precision not in ("exact", "fast"):
+            raise ConfigurationError(
+                f"precision must be 'exact' or 'fast', got '{self.precision}'"
+            )
         if not self.corners:
             raise ConfigurationError("campaign needs at least one corner")
         if not self.temperatures_c:
@@ -190,9 +199,13 @@ class CampaignSpec:
         spec = dataclasses.asdict(self)
         spec["die_seeds"] = list(self.resolved_die_seeds())
         del spec["seed"]
+        config_dict = dataclasses.asdict(config)
+        # The per-die record threshold is a pure execution heuristic —
+        # both sides are bit-exact — so it must not invalidate ledgers.
+        config_dict.pop("per_die_record_threshold", None)
         return {
             "spec": json_safe(spec),
-            "config": json_safe(dataclasses.asdict(config)),
+            "config": json_safe(config_dict),
         }
 
 
@@ -336,6 +349,11 @@ def measure_cell(task: CellTask) -> CellMetrics:
     in any worker of any partition.
     """
     spec = task.spec
+    if spec.precision != "exact":
+        raise ConfigurationError(
+            "the serial testbench is exact-only; run precision="
+            f"'{spec.precision}' campaigns on the vectorized engine"
+        )
     bench = DynamicTestbench(
         task.config,
         n_samples=spec.n_samples,
@@ -362,7 +380,9 @@ def measure_cell_chunk(task: CellChunkTask) -> tuple[CellMetrics, ...]:
     spec = task.spec
     config = task.config
     samples = [cell.process_sample(config.technology) for cell in task.cells]
-    adc = AdcArray(config, spec.conversion_rate, samples)
+    adc = AdcArray(
+        config, spec.conversion_rate, samples, precision=spec.precision
+    )
     tone = SineGenerator.coherent(
         spec.input_frequency,
         spec.conversion_rate,
@@ -584,8 +604,11 @@ class CampaignReport:
             if self.resumed_cells
             else ""
         )
+        tier = (
+            " fast-precision," if self.spec.precision == "fast" else ""
+        )
         lines.append(
-            f"campaign: {self.engine} engine,{resumed} "
+            f"campaign: {self.engine} engine,{tier}{resumed} "
             f"{self.batch.workers} worker(s), "
             f"{self.batch.elapsed_s:.2f} s"
         )
@@ -685,6 +708,11 @@ def run_campaign(
     if engine not in ("pool", "vectorized"):
         raise ConfigurationError(
             f"engine must be 'pool' or 'vectorized', got '{engine}'"
+        )
+    if spec.precision == "fast" and engine != "vectorized":
+        raise ConfigurationError(
+            "precision='fast' needs the vectorized engine (the serial "
+            "testbench is exact-only)"
         )
 
     cells = spec.cells()

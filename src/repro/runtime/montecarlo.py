@@ -29,6 +29,7 @@ from repro.core.adc import PipelineAdc
 from repro.core.adc_array import AdcArray
 from repro.core.calibration import GainCalibration, GainCalibrationArray
 from repro.core.config import AdcConfig
+from repro.core.die_cache import build_die
 from repro.errors import ConfigurationError
 from repro.evaluation.reporting import format_table
 from repro.profiling import profile_step
@@ -215,9 +216,9 @@ def measure_die(task: DieTask) -> DieMetrics:
     """
     die = task.sample
     spec = task.spec
-    adc = PipelineAdc(
+    adc = build_die(
         task.config,
-        conversion_rate=spec.conversion_rate,
+        spec.conversion_rate,
         operating_point=die.operating_point,
         seed=die.seed,
     )
@@ -269,6 +270,8 @@ class DieChunkTask:
             capture and screen the calibrated reconstruction.
         calibration_samples_per_code: calibration-ramp density when
             ``calibrate`` is set.
+        precision: ``"exact"`` (bit-exact with :func:`measure_die`) or
+            ``"fast"`` (float32 + fused draws, statistically gated).
     """
 
     samples: tuple[ProcessSample, ...]
@@ -278,10 +281,15 @@ class DieChunkTask:
     ramp_points_per_code: int = 16
     calibrate: bool = False
     calibration_samples_per_code: int = 8
+    precision: str = "exact"
 
     def __post_init__(self) -> None:
         if not self.samples:
             raise ConfigurationError("die chunk must not be empty")
+        if self.precision not in ("exact", "fast"):
+            raise ConfigurationError(
+                f"precision must be 'exact' or 'fast', got '{self.precision}'"
+            )
         if self.n_fft <= 0:
             raise ConfigurationError("n_fft must be positive")
         if self.ramp_points_per_code < 16:
@@ -313,7 +321,12 @@ def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
     the serial calibration in :func:`measure_die`.
     """
     spec = task.spec
-    adc = AdcArray(task.config, spec.conversion_rate, task.samples)
+    adc = AdcArray(
+        task.config,
+        spec.conversion_rate,
+        task.samples,
+        precision=task.precision,
+    )
     calibration = None
     if task.calibrate:
         calibration = GainCalibrationArray(
@@ -334,13 +347,16 @@ def measure_die_chunk(task: DieChunkTask) -> tuple[DieMetrics, ...]:
     ramp = np.linspace(
         -_RAMP_OVERDRIVE, _RAMP_OVERDRIVE, n_codes * task.ramp_points_per_code
     )
-    # The long ramp record is converted die by die: at 16+ samples per
-    # code the (dies, samples) working set would thrash the cache,
-    # while the per-die rows are bit-exact either way (each die draws
-    # only from its own seed-derived stream).  The code-density
+    # The long ramp record is converted die by die in either tier: at
+    # 16+ samples per code the (dies, samples) working set would thrash
+    # the cache, while the per-die rows are bit-exact with the blocked
+    # path (each die draws only from its own seed-derived stream, and
+    # the stage arithmetic is elementwise).  The code-density
     # histograms are then built in one batched bincount pass.
+    fast = task.precision == "fast"
+
     def ramp_row(index: int, die: PipelineAdc) -> np.ndarray:
-        result = die.convert_samples(ramp)
+        result = die.convert_samples(ramp, fast=fast)
         if calibration is None:
             return result.codes
         return calibration.reconstruct_die(
@@ -368,12 +384,15 @@ class YieldReport:
             "vectorized"); per-die metrics are engine-independent.
         calibrated: whether the dies were foreground-calibrated before
             screening (extension beyond the paper).
+        precision: the tier the dies were measured at (``"fast"`` is
+            statistically — not bitwise — equivalent to ``"exact"``).
     """
 
     batch: BatchResult
     spec: YieldSpec
     engine: str = "pool"
     calibrated: bool = False
+    precision: str = "exact"
 
     @property
     def dies(self) -> list[DieMetrics]:
@@ -473,8 +492,9 @@ class YieldReport:
                 f"{failure.error_type}: {failure.error}"
             )
         calibration = " foreground-calibrated," if self.calibrated else ""
+        tier = " fast-precision," if self.precision == "fast" else ""
         lines.append(
-            f"batch: {self.engine} engine,{calibration} "
+            f"batch: {self.engine} engine,{calibration}{tier} "
             f"{self.batch.workers} worker(s), "
             f"chunk size {self.batch.chunk_size}, {self.batch.elapsed_s:.2f} s"
         )
@@ -484,6 +504,7 @@ class YieldReport:
         document = self.batch.to_dict()
         document["engine"] = self.engine
         document["calibrated"] = self.calibrated
+        document["precision"] = self.precision
         document["spec"] = json_safe(self.spec)
         document["yield"] = {
             "n_dies": self.n_dies,
@@ -544,6 +565,7 @@ def run_yield_analysis(
     engine: str = "pool",
     calibrate: bool = False,
     calibration_samples_per_code: int = 8,
+    precision: str = "exact",
     die_chunk: int | None = None,
     workers: int | None = 1,
     chunk_size: int | None = None,
@@ -567,6 +589,10 @@ def run_yield_analysis(
             engines (the vectorized engine calibrates whole chunks in
             one batched capture).
         calibration_samples_per_code: calibration-ramp density.
+        precision: ``"exact"`` (default, bit-exact across engines) or
+            ``"fast"`` — the vectorized-only float32 + fused-draw tier,
+            statistically equivalent within the documented ENOB/SNDR
+            tolerance.
         seed_strategy: ``"stream"`` draws dies from one sequential
             generator (bit-compatible with the legacy serial loops);
             ``"spawn"`` derives each die from its own
@@ -606,6 +632,15 @@ def run_yield_analysis(
             "die_chunk applies to the vectorized engine only; "
             f"got die_chunk={die_chunk} with engine='{engine}'"
         )
+    if precision not in ("exact", "fast"):
+        raise ConfigurationError(
+            f"precision must be 'exact' or 'fast', got '{precision}'"
+        )
+    if precision == "fast" and engine != "vectorized":
+        raise ConfigurationError(
+            "precision='fast' needs the vectorized engine (the per-die "
+            f"path is exact-only); got engine='{engine}'"
+        )
     runner = BatchRunner(
         workers=workers,
         chunk_size=chunk_size,
@@ -640,6 +675,7 @@ def run_yield_analysis(
                 ramp_points_per_code=ramp_points_per_code,
                 calibrate=calibrate,
                 calibration_samples_per_code=calibration_samples_per_code,
+                precision=precision,
             )
             for chunk in chunks
         ]
@@ -651,5 +687,9 @@ def run_yield_analysis(
             f"engine must be 'pool' or 'vectorized', got '{engine}'"
         )
     return YieldReport(
-        batch=batch, spec=spec, engine=engine, calibrated=calibrate
+        batch=batch,
+        spec=spec,
+        engine=engine,
+        calibrated=calibrate,
+        precision=precision,
     )

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.core import die_cache
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.reporting import format_table
@@ -360,6 +361,10 @@ def profile_workload(
     profiles = []
     n_items = 0
     for engine in engines:
+        # Every engine column starts cold: a warm die cache from the
+        # previous engine would erase its build/die column and skew the
+        # comparison.
+        die_cache.clear()
         recorder = ProfileRecorder()
         with profiled(recorder):
             with recorder.record(RUN_STAGE, engine):

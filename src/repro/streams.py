@@ -158,21 +158,53 @@ class DieStreams:
         return float(flat[die])
 
     def normal(self, loc: float = 0.0, scale=1.0, size=None) -> np.ndarray:
-        """Gaussian block (n_dies, n); ``scale`` may be per-die."""
+        """Gaussian block (n_dies, n); ``scale`` may be per-die.
+
+        Each row is generated straight into the output block
+        (``standard_normal(out=row)``) and scaled in place — no per-row
+        temporary, no copy.  ``Generator.normal(loc, scale)`` is
+        bit-identical to ``loc + scale * standard_normal()`` (both
+        consume the same underlying standard draws), so this matches
+        the per-die path value for value.
+        """
         count = self._row_count(size)
         out = np.empty((self.n_dies, count))
         for die, generator in enumerate(self.generators):
-            out[die] = generator.normal(
-                loc, self._per_die_scale(scale, die), size=count
-            )
+            row = out[die]
+            generator.standard_normal(out=row)
+            row *= self._per_die_scale(scale, die)
+            if loc != 0.0:
+                row += loc
         return out
+
+    def normal_pair(self, scale_a, scale_b, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Two consecutive Gaussian blocks per die from one draw each.
+
+        Equivalent to ``normal(0, scale_a, (dies, n))`` followed by
+        ``normal(0, scale_b, (dies, n))`` — bit-exact, because a
+        generator's draw of ``2n`` standard normals is the concatenation
+        of two consecutive draws of ``n`` — but with a single Generator
+        call per die instead of two.  The MDAC uses this to fuse its
+        sampling-noise and opamp-noise draws.
+        """
+        out_a = np.empty((self.n_dies, count))
+        out_b = np.empty((self.n_dies, count))
+        for die, generator in enumerate(self.generators):
+            block = generator.standard_normal(2 * count)
+            np.multiply(
+                block[:count], self._per_die_scale(scale_a, die), out=out_a[die]
+            )
+            np.multiply(
+                block[count:], self._per_die_scale(scale_b, die), out=out_b[die]
+            )
+        return out_a, out_b
 
     def random(self, size=None) -> np.ndarray:
         """Uniform [0, 1) block of shape (n_dies, n)."""
         count = self._row_count(size)
         out = np.empty((self.n_dies, count))
         for die, generator in enumerate(self.generators):
-            out[die] = generator.random(size=count)
+            generator.random(out=out[die])
         return out
 
     def normal_where(self, mask: np.ndarray, scale: float) -> np.ndarray:
@@ -207,6 +239,22 @@ class DieStreams:
             if index.size:
                 out[die, index] = generator.random(size=index.size)
         return out
+
+
+def normal_pair(rng, scale_a, scale_b, shape) -> tuple[np.ndarray, np.ndarray]:
+    """Two consecutive Gaussian blocks from one draw per generator.
+
+    Equivalent — bit-exact — to ``rng.normal(0, scale_a, shape)``
+    followed by ``rng.normal(0, scale_b, shape)``: ``Generator.normal``
+    is ``scale * standard_normal()`` value for value, and a single draw
+    of ``2n`` standard normals is the concatenation of two consecutive
+    draws of ``n``.  Dispatches to :meth:`DieStreams.normal_pair` for
+    batched runs.
+    """
+    if isinstance(rng, DieStreams):
+        return rng.normal_pair(scale_a, scale_b, rng._row_count(shape))
+    block = rng.standard_normal((2,) + tuple(shape))
+    return scale_a * block[0], scale_b * block[1]
 
 
 def normal_where(rng, mask: np.ndarray, scale: float) -> np.ndarray:

@@ -22,6 +22,7 @@ from repro.streams import (
     SAMPLES_NOISE_STREAM,
     DieStreams,
     noise_generator,
+    normal_pair,
 )
 from repro.technology.corners import OperatingPointArray
 from repro.technology.montecarlo import MonteCarloSampler, ProcessSampleArray
@@ -82,6 +83,22 @@ class TestStreams:
             streams.normal(size=(3, 4))
         with pytest.raises(ConfigurationError):
             streams.random_where(np.zeros((3, 4), dtype=bool))
+
+    def test_normal_pair_matches_sequential_draws(self):
+        """One fused 2n draw == two consecutive n draws, bit for bit."""
+        seeds = [3, 5]
+        fused = DieStreams.for_noise(seeds, CONVERT_NOISE_STREAM)
+        sequential = DieStreams.for_noise(seeds, CONVERT_NOISE_STREAM)
+        pair_a, pair_b = normal_pair(fused, 0.5, 2.0, (2, 16))
+        assert np.array_equal(pair_a, sequential.normal(0.0, 0.5, (2, 16)))
+        assert np.array_equal(pair_b, sequential.normal(0.0, 2.0, (2, 16)))
+
+    def test_normal_pair_plain_generator_dispatch(self):
+        one = np.random.default_rng(7)
+        two = np.random.default_rng(7)
+        pair_a, pair_b = normal_pair(one, 0.5, 2.0, (16,))
+        assert np.array_equal(pair_a, two.normal(0.0, 0.5, 16))
+        assert np.array_equal(pair_b, two.normal(0.0, 2.0, 16))
 
 
 class TestStackedConstruction:
@@ -186,6 +203,33 @@ class TestBitExactness:
             assert np.array_equal(
                 batch.codes[die], solo.convert(tone, 128).codes
             )
+
+    def test_record_threshold_both_sides_bit_exact(
+        self, paper_config, die_population
+    ):
+        """The per-die fallback and the blocked path agree bitwise.
+
+        ``per_die_record_threshold`` only picks the execution strategy:
+        a 512-sample record runs blocked under a high threshold and
+        per-die under a low one, and the codes must not notice.
+        """
+        import dataclasses
+
+        ramp = np.linspace(-1.02, 1.02, 512)
+        blocked = AdcArray(
+            dataclasses.replace(
+                paper_config, per_die_record_threshold=100_000
+            ),
+            110e6,
+            die_population,
+        ).convert_samples(ramp)
+        per_die = AdcArray(
+            dataclasses.replace(paper_config, per_die_record_threshold=64),
+            110e6,
+            die_population,
+        ).convert_samples(ramp)
+        assert np.array_equal(blocked.codes, per_die.codes)
+        assert np.array_equal(blocked.stage_codes, per_die.stage_codes)
 
     def test_die_view(self, adc_array):
         tone = SineGenerator.coherent(10e6, 110e6, 128, amplitude=0.9)

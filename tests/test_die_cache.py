@@ -1,0 +1,132 @@
+"""Tests for repro.core.die_cache — the content-addressed die cache.
+
+The contract: :func:`build_die` is a drop-in for the ``PipelineAdc``
+constructor.  A hit returns the previously built instance (observable
+only as saved wall time), a key that differs in any component —
+config, conversion rate, PVT point, die seed — misses and builds
+fresh, and a cached die's conversions stay bit-exact with an uncached
+construction.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import die_cache
+from repro.core.adc import PipelineAdc
+from repro.signal.generators import SineGenerator
+from repro.technology.corners import OperatingPoint
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts and ends with an empty, enabled cache."""
+    die_cache.clear()
+    die_cache.set_enabled(True)
+    yield
+    die_cache.clear()
+    die_cache.set_enabled(True)
+
+
+@pytest.fixture()
+def hot_point(technology):
+    return OperatingPoint(
+        technology=technology, temperature_c=125.0, supply_scale=0.95
+    )
+
+
+class TestHitAndMiss:
+    def test_identical_key_hits(self, paper_config):
+        first = die_cache.build_die(paper_config, 110e6, seed=7)
+        second = die_cache.build_die(paper_config, 110e6, seed=7)
+        assert second is first
+        stats = die_cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.lookups == 2
+
+    def test_default_point_matches_explicit_nominal(self, paper_config):
+        """None resolves to the nominal point — one cache entry, not two."""
+        nominal = OperatingPoint(technology=paper_config.technology)
+        first = die_cache.build_die(paper_config, 110e6, None, seed=3)
+        second = die_cache.build_die(paper_config, 110e6, nominal, seed=3)
+        assert second is first
+
+    def test_config_drift_misses(self, paper_config):
+        first = die_cache.build_die(paper_config, 110e6, seed=7)
+        drifted = dataclasses.replace(paper_config, stage1_mirror_ratio=21.0)
+        second = die_cache.build_die(drifted, 110e6, seed=7)
+        assert second is not first
+        assert die_cache.stats().misses == 2
+
+    def test_pvt_drift_misses(self, paper_config, hot_point):
+        first = die_cache.build_die(paper_config, 110e6, seed=7)
+        second = die_cache.build_die(paper_config, 110e6, hot_point, seed=7)
+        assert second is not first
+
+    def test_seed_drift_misses(self, paper_config):
+        first = die_cache.build_die(paper_config, 110e6, seed=7)
+        second = die_cache.build_die(paper_config, 110e6, seed=8)
+        assert second is not first
+
+    def test_rate_drift_misses(self, paper_config):
+        first = die_cache.build_die(paper_config, 110e6, seed=7)
+        second = die_cache.build_die(paper_config, 100e6, seed=7)
+        assert second is not first
+
+
+class TestBitExactness:
+    def test_cached_die_converts_bit_exact(self, paper_config, hot_point):
+        """A reused die produces the codes a fresh construction would."""
+        cached = die_cache.build_die(paper_config, 110e6, hot_point, seed=5)
+        cached = die_cache.build_die(paper_config, 110e6, hot_point, seed=5)
+        fresh = PipelineAdc(
+            paper_config, 110e6, operating_point=hot_point, seed=5
+        )
+        tone = SineGenerator.coherent(10e6, 110e6, 256, amplitude=0.9)
+        assert np.array_equal(
+            cached.convert(tone, 256).codes, fresh.convert(tone, 256).codes
+        )
+
+    def test_no_cross_key_leakage(self, paper_config):
+        """Interleaved campaigns each get their own die back."""
+        a1 = die_cache.build_die(paper_config, 110e6, seed=1)
+        b1 = die_cache.build_die(paper_config, 110e6, seed=2)
+        a2 = die_cache.build_die(paper_config, 110e6, seed=1)
+        b2 = die_cache.build_die(paper_config, 110e6, seed=2)
+        assert a2 is a1 and b2 is b1 and a1 is not b1
+        ramp = np.linspace(-1.0, 1.0, 128)
+        assert np.array_equal(
+            a2.convert_samples(ramp).codes,
+            PipelineAdc(paper_config, 110e6, seed=1)
+            .convert_samples(ramp)
+            .codes,
+        )
+
+
+class TestLifecycle:
+    def test_clear_drops_entries_and_counters(self, paper_config):
+        die_cache.build_die(paper_config, 110e6, seed=1)
+        die_cache.build_die(paper_config, 110e6, seed=1)
+        die_cache.clear()
+        stats = die_cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+        die_cache.build_die(paper_config, 110e6, seed=1)
+        assert die_cache.stats().misses == 1
+
+    def test_disabled_cache_builds_fresh(self, paper_config):
+        die_cache.set_enabled(False)
+        first = die_cache.build_die(paper_config, 110e6, seed=1)
+        second = die_cache.build_die(paper_config, 110e6, seed=1)
+        assert second is not first
+        stats = die_cache.stats()
+        assert (stats.lookups, stats.size) == (0, 0)
+
+    def test_lru_bound_evicts_oldest(self, paper_config, monkeypatch):
+        monkeypatch.setattr(die_cache, "MAX_CACHED_DIES", 2)
+        first = die_cache.build_die(paper_config, 110e6, seed=1)
+        die_cache.build_die(paper_config, 110e6, seed=2)
+        die_cache.build_die(paper_config, 110e6, seed=3)  # evicts seed=1
+        assert die_cache.stats().size == 2
+        again = die_cache.build_die(paper_config, 110e6, seed=1)
+        assert again is not first

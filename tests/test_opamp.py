@@ -152,6 +152,44 @@ class TestSettling:
             assert target - 1e-12 <= out <= 1e-12
 
 
+class TestSettleFastPath:
+    """The hoisted-constants / sparse-regime paths are bit-exact."""
+
+    def test_precomputed_constants_bit_exact(self, opamp):
+        targets = np.random.default_rng(3).uniform(-2.0, 2.0, 256)
+        constants = opamp.settle_constants(1e-9, 0.4)
+        with_constants = opamp.settle(
+            targets, 0.0, 1e-9, 0.4, constants=constants
+        )
+        without = opamp.settle(targets, 0.0, 1e-9, 0.4)
+        assert np.array_equal(with_constants.output, without.output)
+        assert (
+            with_constants.slewing_fraction == without.slewing_fraction
+        )
+
+    @pytest.mark.parametrize("slewing", ["few", "most", "none"])
+    def test_batch_matches_scalar_elementwise(self, opamp, slewing):
+        """Every regime mix — the sparse gather path (few slewing
+        elements), the dense path (mostly slewing) and the fused
+        no-slewing path — reproduces the one-element calls bitwise."""
+        rng = np.random.default_rng(5)
+        targets = {
+            "few": np.concatenate(
+                [rng.uniform(-0.05, 0.05, 60), rng.uniform(1.5, 2.0, 4)]
+            ),
+            "most": rng.uniform(-2.0, 2.0, 64),
+            "none": rng.uniform(-0.01, 0.01, 64),
+        }[slewing]
+        batch = opamp.settle(targets, 0.0, 1e-9, 0.4).output
+        singles = np.array(
+            [
+                opamp.settle(np.array([t]), 0.0, 1e-9, 0.4).output[0]
+                for t in targets
+            ]
+        )
+        assert np.array_equal(batch, singles)
+
+
 class TestCompression:
     def test_identity_at_zero_compression(self):
         amp = TwoStageMillerOpamp(
