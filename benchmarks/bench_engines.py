@@ -80,13 +80,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-#: Schema tag for the emitted artifact.  v4: adds the pvt-campaign
-#: workload and environment metadata (numpy version, machine).  v5:
-#: adds the vectorized-fast configuration (statistically gated).
-BENCH_ENGINES_SCHEMA = "repro.bench-engines/v5"
-
-#: Schema tag of one perf-trajectory history entry (--history-dir).
-BENCH_HISTORY_SCHEMA = "repro.bench-history/v1"
+from repro.schemas import BENCH_ENGINES_SCHEMA, BENCH_HISTORY_SCHEMA
 
 #: The committed perf-trajectory directory.
 HISTORY_DIR = Path(__file__).resolve().parent / "BENCH_history"
@@ -317,10 +311,11 @@ def run_engine_comparison(
 
     from repro.core.config import AdcConfig
     from repro.runtime.montecarlo import default_sampler, run_yield_analysis
+    from repro.runtime.seeding import population_generator
 
     workers = workers or os.cpu_count() or 1
     population = default_sampler(AdcConfig.paper_default()).sample(
-        dies, np.random.default_rng(seed)
+        dies, population_generator(seed)
     )
     # Warm NumPy/FFT caches and the import graph so the first timed
     # configuration is not charged for one-time setup.

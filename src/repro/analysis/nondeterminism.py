@@ -1,0 +1,206 @@
+"""Checker 2 — nondeterminism sources in the engine layer (``DET*``).
+
+Resume equivalence and profiling transparency (docs/architecture.md
+invariants 4-5) require that a conversion's outputs are a pure function
+of (config, seeds, inputs).  Wall clocks, OS entropy, the stdlib
+``random`` module and environment reads are the classic ways that
+purity erodes — each one harmless-looking at review time, each one a
+source of unreproducible ledgers later.  This checker bans them from
+the engine layer (``core/``, ``devices/``, ``signal/``, ``analog/``,
+``technology/`` and ``streams.py``):
+
+* ``DET001`` — importing an entropy-bearing module (``random``,
+  ``secrets``) in the engine layer.
+* ``DET002`` — wall-clock or OS-entropy use (``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ...) in the engine
+  layer.
+* ``DET003`` — environment reads (``os.environ`` / ``os.getenv``) in
+  the engine layer; configuration flows through :class:`AdcConfig`,
+  never through ambient process state.
+* ``DET004`` — ``time.perf_counter`` anywhere in ``src/repro`` outside
+  the two sanctioned timing sites (:mod:`repro.profiling` and
+  :mod:`repro.runtime.batch`), protecting the "profiling never touches
+  the measurement" guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import (
+    Finding,
+    Project,
+    import_aliases,
+    resolve_dotted,
+    walk_scoped,
+)
+
+#: Invariant id (docs/architecture.md, invariants 4-5).
+INVARIANT = "deterministic-replay"
+
+#: Directories forming the deterministic engine layer.
+ENGINE_DIR_PREFIXES = (
+    "src/repro/core/",
+    "src/repro/devices/",
+    "src/repro/signal/",
+    "src/repro/analog/",
+    "src/repro/technology/",
+)
+
+#: Single engine-layer modules outside those directories.
+ENGINE_FILES = frozenset({"src/repro/streams.py"})
+
+#: Modules whose import alone is a finding in the engine layer.
+_BANNED_MODULES = frozenset({"random", "secrets"})
+
+#: Wall clocks and entropy sources banned in the engine layer
+#: (matched as resolved dotted-name prefixes).
+_CLOCKS_AND_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Environment reads banned in the engine layer.
+_ENV_READS = frozenset({"os.environ", "os.environb", "os.getenv"})
+
+#: The only modules allowed to call ``time.perf_counter``.
+PERF_COUNTER_ALLOWLIST = frozenset(
+    {"src/repro/profiling.py", "src/repro/runtime/batch.py"}
+)
+
+_PERF_COUNTERS = frozenset({"time.perf_counter", "time.perf_counter_ns"})
+
+
+def _in_engine_layer(path: str) -> bool:
+    return path.startswith(ENGINE_DIR_PREFIXES) or path in ENGINE_FILES
+
+
+def _matches(dotted: str, banned: frozenset[str]) -> str | None:
+    for name in banned:
+        if dotted == name or dotted.startswith(name + "."):
+            return name
+    return None
+
+
+def check(project: Project) -> Iterator[Finding]:
+    """Run the nondeterminism rules over the project."""
+    for source in project.files:
+        if not source.path.startswith("src/repro/"):
+            continue
+        engine = _in_engine_layer(source.path)
+        aliases = import_aliases(source.tree)
+        seen: set[tuple[int, str]] = set()
+        for node, scope in walk_scoped(source.tree):
+            if engine and isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from _check_import(source.path, node, scope)
+                continue
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            dotted = resolve_dotted(node, aliases)
+            if dotted is None:
+                continue
+            finding = _check_dotted(source.path, engine, dotted, node, scope)
+            if finding is None:
+                continue
+            key = (finding.line, finding.rule + finding.message)
+            if key not in seen:
+                seen.add(key)
+                yield finding
+
+
+def _check_import(
+    path: str, node: ast.Import | ast.ImportFrom, scope: str
+) -> Iterator[Finding]:
+    if isinstance(node, ast.Import):
+        modules = [alias.name.split(".", 1)[0] for alias in node.names]
+    else:
+        if node.level or node.module is None:
+            return
+        modules = [node.module.split(".", 1)[0]]
+    for module in modules:
+        if module in _BANNED_MODULES:
+            yield Finding(
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="DET001",
+                invariant=INVARIANT,
+                scope=scope,
+                message=(
+                    f"import of entropy module '{module}' in the "
+                    "engine layer"
+                ),
+                hint=(
+                    "all engine randomness flows through "
+                    "numpy Generators minted in repro.streams"
+                ),
+            )
+
+
+def _check_dotted(
+    path: str,
+    engine: bool,
+    dotted: str,
+    node: ast.expr,
+    scope: str,
+) -> Finding | None:
+    perf = _matches(dotted, _PERF_COUNTERS)
+    if perf is not None and path not in PERF_COUNTER_ALLOWLIST:
+        return Finding(
+            path=path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="DET004",
+            invariant=INVARIANT,
+            scope=scope,
+            message=f"{perf} outside the sanctioned timing sites",
+            hint=(
+                "time through repro.profiling.record(...) so the "
+                "instrumentation stays transparent"
+            ),
+        )
+    if not engine:
+        return None
+    clock = _matches(dotted, _CLOCKS_AND_ENTROPY)
+    if clock is not None:
+        return Finding(
+            path=path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="DET002",
+            invariant=INVARIANT,
+            scope=scope,
+            message=f"wall-clock/entropy source {clock} in the engine layer",
+            hint=(
+                "outputs must replay from (config, seeds, inputs) "
+                "alone; derive variation from seeded streams"
+            ),
+        )
+    env = _matches(dotted, _ENV_READS)
+    if env is not None:
+        return Finding(
+            path=path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="DET003",
+            invariant=INVARIANT,
+            scope=scope,
+            message=f"environment read {env} in the engine layer",
+            hint="thread configuration through AdcConfig, not the process env",
+        )
+    return None

@@ -1,0 +1,137 @@
+"""Checker 1 — RNG stream discipline (``RNG*``).
+
+The per-die bit-exactness contract (docs/architecture.md invariants
+1-3) holds because every generator in the system is minted in exactly
+three places: :mod:`repro.streams` (per-die noise streams),
+:mod:`repro.runtime.seeding` (partition-invariant task seeds) and
+:mod:`repro.technology.montecarlo` (die-population sampling entry
+points).  A code path that quietly constructs its own
+``np.random.default_rng`` — or worse, draws from NumPy's hidden global
+state — breaks per-die stream isolation in a way only a painful
+bit-mismatch bisection would catch.  This checker rejects it at the
+source level:
+
+* ``RNG001`` — construction of a Generator/SeedSequence/BitGenerator
+  (``default_rng``, ``Generator``, ``SeedSequence``, ``RandomState``,
+  the raw bit generators) outside the allowlisted modules.
+* ``RNG002`` — any draw through the legacy module-level
+  ``np.random.*`` API (``np.random.normal`` and friends).  These share
+  one process-global stream, so they are banned *everywhere*, the
+  allowlisted modules included.
+
+Draws on a generator received as a parameter are legal by
+construction: every constructor is checked, so a parameter can only
+carry a sanctioned stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import (
+    Finding,
+    Project,
+    import_aliases,
+    resolve_dotted,
+    walk_scoped,
+)
+
+#: Invariant id (docs/architecture.md, invariants 1-3).
+INVARIANT = "rng-stream-discipline"
+
+#: Modules allowed to construct generators: the two stream/seed roots
+#: plus the Monte Carlo sampling entry points.
+CONSTRUCTOR_ALLOWLIST = frozenset(
+    {
+        "src/repro/streams.py",
+        "src/repro/runtime/seeding.py",
+        "src/repro/technology/montecarlo.py",
+    }
+)
+
+#: Generator/seed constructors covered by RNG001.
+_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+#: Legacy global-state draw/seed functions covered by RNG002.
+_GLOBAL_DRAWS = frozenset(
+    {
+        "normal",
+        "standard_normal",
+        "uniform",
+        "random",
+        "random_sample",
+        "rand",
+        "randn",
+        "randint",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "seed",
+        "get_state",
+        "set_state",
+    }
+)
+
+
+def check(project: Project) -> Iterator[Finding]:
+    """Run the RNG discipline rules over the project."""
+    for source in project.files:
+        aliases = import_aliases(source.tree)
+        for node, scope in walk_scoped(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted in _CONSTRUCTORS and source.path not in CONSTRUCTOR_ALLOWLIST:
+                short = dotted.rsplit(".", 1)[-1]
+                yield Finding(
+                    path=source.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="RNG001",
+                    invariant=INVARIANT,
+                    scope=scope,
+                    message=(
+                        f"generator construction ({short}) outside the "
+                        "stream/seeding roots"
+                    ),
+                    hint=(
+                        "mint streams through repro.streams / "
+                        "repro.runtime.seeding / "
+                        "repro.technology.montecarlo and pass the "
+                        "generator down"
+                    ),
+                )
+            elif (
+                dotted.startswith("numpy.random.")
+                and dotted.count(".") == 2
+                and dotted.rsplit(".", 1)[-1] in _GLOBAL_DRAWS
+            ):
+                yield Finding(
+                    path=source.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="RNG002",
+                    invariant=INVARIANT,
+                    scope=scope,
+                    message=f"draw through the process-global {dotted} state",
+                    hint=(
+                        "global-state draws are order-dependent; draw "
+                        "from an explicit per-die Generator"
+                    ),
+                )

@@ -1,0 +1,172 @@
+"""The ``repro lint`` entry point: run every checker, apply the
+suppression file, render/serialize the report.
+
+The scan covers ``src/repro`` and ``benchmarks`` (the benchmark
+harness emits schema-tagged artifacts and samples die populations, so
+it is bound by the same contracts).  Tests are deliberately out of
+scope: a test that pins a schema literal or constructs a throwaway
+generator is asserting the contract, not participating in it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis import (
+    fingerprint,
+    nondeterminism,
+    purity,
+    rng,
+    schema_registry,
+)
+from repro.analysis.base import Checker, Finding, LintUsageError, Project
+from repro.analysis.suppressions import (
+    SUPPRESSION_FILE,
+    Suppression,
+    apply_suppressions,
+    load_suppressions,
+)
+from repro.schemas import LINT_REPORT_SCHEMA
+
+#: Repo-relative directories a lint run scans.
+DEFAULT_TARGETS = ("src/repro", "benchmarks")
+
+#: The registered checkers, each bound to the invariant it enforces.
+CHECKERS: tuple[Checker, ...] = (
+    Checker("rng", rng.INVARIANT, rng.check),
+    Checker("nondeterminism", nondeterminism.INVARIANT, nondeterminism.check),
+    Checker("fingerprint", fingerprint.INVARIANT, fingerprint.check),
+    Checker("schema-registry", schema_registry.INVARIANT, schema_registry.check),
+    Checker("purity", purity.INVARIANT, purity.check),
+)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """One lint run: what was scanned, what was found, what was waived.
+
+    Attributes:
+        root: the repository root scanned.
+        files_scanned: number of parsed source files.
+        findings: active findings (suppressions already applied),
+            sorted by location.
+        suppressed: (finding, suppression) pairs waived by the
+            committed suppression file.
+    """
+
+    root: str
+    files_scanned: int
+    findings: tuple[Finding, ...]
+    suppressed: tuple[tuple[Finding, Suppression], ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        """The human-readable report."""
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro lint: {len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_scanned} file(s) scanned"
+        )
+        if self.findings:
+            lines.append(summary)
+        else:
+            lines.append(f"{summary} — clean")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """The ``repro.lint-report/v1`` document."""
+        return {
+            "schema": LINT_REPORT_SCHEMA,
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "clean": self.clean,
+            "checkers": [
+                {"name": checker.name, "invariant": checker.invariant}
+                for checker in CHECKERS
+            ],
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [
+                {
+                    "finding": finding.to_dict(),
+                    "reason": suppression.reason,
+                    "suppression_line": suppression.line,
+                }
+                for finding, suppression in self.suppressed
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def default_root() -> Path:
+    """The repository root: cwd when it holds the tree, else derived
+    from the installed package location (src/repro/... -> root)."""
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro" / "streams.py").is_file():
+        return cwd
+    package_dir = Path(__file__).resolve().parent.parent
+    candidate = package_dir.parent.parent
+    if (candidate / "src" / "repro" / "streams.py").is_file():
+        return candidate
+    raise LintUsageError(
+        "cannot locate the repository root (no src/repro tree under "
+        f"{cwd} or the installed package); pass --root"
+    )
+
+
+def run_lint(
+    root: Path | None = None,
+    targets: Iterable[str] = DEFAULT_TARGETS,
+    suppression_file: Path | None = None,
+) -> LintReport:
+    """Run every checker and apply the suppression file.
+
+    Args:
+        root: repository root (auto-detected when omitted).
+        targets: repo-relative directories to scan.
+        suppression_file: override for the committed
+            ``lint-suppressions.txt`` (an explicitly-passed file must
+            exist).
+
+    Raises:
+        LintUsageError: unusable root, unparseable source, or a
+            missing explicit suppression file.
+    """
+    resolved_root = root if root is not None else default_root()
+    if not resolved_root.is_dir():
+        raise LintUsageError(f"root {resolved_root} is not a directory")
+    project = Project.load(resolved_root, targets)
+    findings: list[Finding] = []
+    for checker in CHECKERS:
+        findings.extend(checker.run(project))
+
+    if suppression_file is not None:
+        if not suppression_file.is_file():
+            raise LintUsageError(f"suppression file {suppression_file} does not exist")
+        suppression_path = suppression_file
+    else:
+        suppression_path = resolved_root / SUPPRESSION_FILE
+    try:
+        label = suppression_path.relative_to(resolved_root).as_posix()
+    except ValueError:
+        label = str(suppression_path)
+    suppressions, parse_findings = load_suppressions(suppression_path, label)
+    result = apply_suppressions(findings, suppressions, label)
+    active = sorted(
+        list(result.kept) + parse_findings,
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+    return LintReport(
+        root=str(resolved_root),
+        files_scanned=len(project.files),
+        findings=tuple(active),
+        suppressed=result.suppressed,
+    )

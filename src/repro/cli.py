@@ -22,6 +22,8 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.analysis import SUPPRESSION_FILE, LintUsageError
+from repro.analysis import run_lint as analysis_run_lint
 from repro.errors import ReproError
 from repro.experiments.registry import (
     available_experiments,
@@ -35,6 +37,7 @@ from repro.runtime.campaign import (
 )
 from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
 from repro.runtime.profiling import ENGINES, WORKLOADS, profile_workload
+from repro.schemas import LINT_REPORT_SCHEMA, PROFILE_REPORT_SCHEMA
 from repro.technology.corners import Corner
 from repro.version import PAPER, __version__
 
@@ -452,7 +455,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "write the profile document "
-            "(schema repro.profile-report/v1) to PATH"
+            f"(schema {PROFILE_REPORT_SCHEMA}) to PATH"
         ),
     )
     return parser
@@ -497,6 +500,69 @@ def _parse_floats(text: str, flag: str) -> tuple[float, ...]:
         )
     except ValueError:
         raise ReproError(f"{flag} must be a comma-separated number list") from None
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` (static invariant checker) argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Statically check the source tree against the documented "
+            "determinism invariants: RNG stream discipline, absence of "
+            "nondeterminism sources in engine code, campaign-"
+            "fingerprint coverage, single-source schema tags, and die "
+            "purity.  Intentional exceptions live in "
+            f"{SUPPRESSION_FILE} with mandatory justifications.  See "
+            "docs/architecture.md ('Statically enforced')."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="repository root to scan (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the lint report "
+            f"(schema {LINT_REPORT_SCHEMA}) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--suppressions",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "suppression file to apply "
+            f"(default: {SUPPRESSION_FILE} under the root)"
+        ),
+    )
+    return parser
+
+
+def run_lint_cli(argv: Sequence[str] | None = None) -> int:
+    """Run the ``lint`` subcommand; returns a process exit code."""
+    args = build_lint_parser().parse_args(argv)
+    try:
+        report = analysis_run_lint(root=args.root, suppression_file=args.suppressions)
+    except LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(report.to_json())
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    return 0 if report.clean else 1
 
 
 def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
@@ -662,6 +728,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_campaign_cli(arguments[1:])
         if arguments and arguments[0] == "profile":
             return run_profile(arguments[1:])
+        if arguments and arguments[0] == "lint":
+            return run_lint_cli(arguments[1:])
         return run_experiments(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -40,7 +40,9 @@ from repro.profiling import record
 from repro.streams import (
     CONVERT_NOISE_STREAM,
     SAMPLES_NOISE_STREAM,
+    mismatch_generator,
     noise_generator,
+    seeded_generator,
 )
 from repro.technology.capacitor import CapacitorMismatchModel
 from repro.technology.corners import OperatingPoint
@@ -123,7 +125,7 @@ class PipelineAdc:
         self.timing: PhaseTiming = config.clock.timing(conversion_rate)
 
         with record("build", "die"):
-            mismatch_rng = np.random.default_rng(seed)
+            mismatch_rng = mismatch_generator(seed)
             self._build_bias(mismatch_rng)
             self._build_stages(mismatch_rng)
             self._build_frontend()
@@ -350,7 +352,7 @@ class PipelineAdc:
         rng = (
             noise_generator(self.seed, CONVERT_NOISE_STREAM)
             if noise_seed is None
-            else np.random.default_rng(noise_seed)
+            else seeded_generator(noise_seed)
         )
         skip = self.correction.latency_cycles
         total = n_samples + skip
@@ -407,7 +409,7 @@ class PipelineAdc:
         rng = (
             noise_generator(self.seed, stream)
             if noise_seed is None
-            else np.random.default_rng(noise_seed)
+            else seeded_generator(noise_seed)
         )
         skip = self.correction.latency_cycles
         padded = np.concatenate([np.zeros(skip), held])

@@ -444,3 +444,68 @@ class AdcConfig:
                 design_rate=design_rate, template=self.bias
             ),
         )
+
+
+# --- campaign-fingerprint registries -------------------------------------
+#
+# Every AdcConfig field must appear in exactly one of the two registries
+# below; ``repro lint`` (the fingerprint-coverage checker) enforces it.
+# Adding a config field therefore forces a decision about its ledger
+# semantics: a field in FINGERPRINT_FIELDS invalidates existing campaign
+# ledgers when it changes (it can change measured bits); a field in
+# FINGERPRINT_EXCLUDED never can, and says why.
+
+#: Fields serialized into :meth:`CampaignSpec.fingerprint
+#: <repro.runtime.campaign.CampaignSpec.fingerprint>`.
+FINGERPRINT_FIELDS = (
+    "technology",
+    "resolution",
+    "n_stages",
+    "flash_bits",
+    "vref",
+    "scaling",
+    "stage1_unit_capacitance",
+    "stage1_input_pair_width",
+    "input_pair_length",
+    "stage1_compensation_capacitance",
+    "parasitic_summing_capacitance",
+    "output_stage_current_ratio",
+    "bias_overhead_ratio",
+    "intrinsic_gain_per_stage",
+    "output_swing",
+    "opamp_compression",
+    "noise_excess_factor",
+    "switch_style",
+    "input_nmos_width",
+    "input_pmos_width",
+    "switch_length",
+    "tracking_side_mismatch",
+    "bottom_plate_suppression",
+    "switch_off_conductance",
+    "comparator",
+    "flash_comparator",
+    "stage1_mirror_ratio",
+    "bias",
+    "use_fixed_bias",
+    "fixed_bias",
+    "clock",
+    "reference",
+    "bandgap",
+    "common_mode",
+    "digital",
+    "include_thermal_noise",
+    "include_jitter",
+    "include_mismatch",
+    "include_settling",
+    "include_tracking",
+    "include_reference_noise",
+)
+
+#: Fields deliberately left out of the fingerprint, each with the
+#: one-line justification for why it cannot change a measured bit.
+FINGERPRINT_EXCLUDED = {
+    "per_die_record_threshold": (
+        "pure throughput heuristic: both sides of the per-die-row "
+        "switch are bit-exact, so it must not invalidate ledgers"
+    ),
+}

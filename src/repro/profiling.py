@@ -78,8 +78,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
-#: Schema tag of serialized profile documents (:meth:`ProfileRecorder.to_dict`).
-PROFILE_SCHEMA = "repro.profile/v1"
+from repro.schemas import PROFILE_SCHEMA
 
 #: Environment variable that enables profiling at import time.
 PROFILE_ENV = "REPRO_PROFILE"

@@ -40,10 +40,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.profiling import active as _active_profile
 from repro.runtime.seeding import derive_seeds
-
-#: Schema tag stamped into serialized results so CI consumers can
-#: detect format drift.
-BATCH_RESULT_SCHEMA = "repro.batch-result/v1"
+from repro.schemas import BATCH_RESULT_SCHEMA
 
 #: Chunks per worker when no explicit chunk size is given; small enough
 #: to balance uneven task costs, large enough to amortize IPC.

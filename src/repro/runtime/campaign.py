@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.adc_array import AdcArray
-from repro.core.config import AdcConfig
+from repro.core.config import FINGERPRINT_EXCLUDED, AdcConfig
 from repro.errors import ConfigurationError
 from repro.evaluation.datasheet import Datasheet, signoff_datasheet
 from repro.evaluation.reporting import format_table
@@ -52,13 +52,11 @@ from repro.runtime.batch import (
     json_safe,
 )
 from repro.runtime.seeding import derive_seeds
+from repro.schemas import CAMPAIGN_LEDGER_SCHEMA
 from repro.signal.generators import SineGenerator
 from repro.signal.spectrum import SpectrumAnalyzer
 from repro.technology.corners import Corner, OperatingPoint, pvt_grid
 from repro.technology.montecarlo import ProcessSample
-
-#: Schema tag of the JSONL run ledger.
-CAMPAIGN_LEDGER_SCHEMA = "repro.campaign-ledger/v1"
 
 #: Default cells per vectorized chunk: the same cache-residency
 #: trade-off as the Monte Carlo die chunk (the records are the same
@@ -200,9 +198,11 @@ class CampaignSpec:
         spec["die_seeds"] = list(self.resolved_die_seeds())
         del spec["seed"]
         config_dict = dataclasses.asdict(config)
-        # The per-die record threshold is a pure execution heuristic —
-        # both sides are bit-exact — so it must not invalidate ledgers.
-        config_dict.pop("per_die_record_threshold", None)
+        # FINGERPRINT_EXCLUDED is the single authority on which config
+        # fields are execution heuristics rather than physics; each
+        # entry carries its justification next to the dataclass.
+        for excluded in FINGERPRINT_EXCLUDED:
+            config_dict.pop(excluded, None)
         return {
             "spec": json_safe(spec),
             "config": json_safe(config_dict),

@@ -40,6 +40,7 @@ from repro.runtime.batch import (
     flatten_chunk_batch,
     json_safe,
 )
+from repro.runtime.seeding import population_generator
 from repro.signal.generators import SineGenerator
 from repro.signal.linearity import ramp_linearity
 from repro.signal.spectrum import SpectrumAnalyzer
@@ -616,7 +617,7 @@ def run_yield_analysis(
     spec = spec or YieldSpec()
     sampler = sampler or default_sampler(config)
     if seed_strategy == "stream":
-        dies = sampler.sample(n_dies, np.random.default_rng(seed))
+        dies = sampler.sample(n_dies, population_generator(seed))
     elif seed_strategy == "spawn":
         dies = sampler.sample_spawned(n_dies, seed)
     else:

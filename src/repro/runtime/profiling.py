@@ -56,10 +56,8 @@ from repro.runtime.campaign import (
     run_campaign,
 )
 from repro.runtime.montecarlo import run_yield_analysis
+from repro.schemas import PROFILE_REPORT_SCHEMA
 from repro.technology.corners import Corner
-
-#: Schema tag of the ``repro profile --json`` document.
-PROFILE_REPORT_SCHEMA = "repro.profile-report/v1"
 
 #: The workloads ``repro profile`` can run.
 WORKLOADS = ("dynamic-screen", "yield-screen", "pvt-campaign")

@@ -32,6 +32,19 @@ def spawn_sequences(root_seed: int, count: int) -> list[np.random.SeedSequence]:
     return np.random.SeedSequence(root_seed).spawn(count)
 
 
+def population_generator(root_seed: int) -> np.random.Generator:
+    """The generator a die-population sample is drawn from.
+
+    One batch samples its whole process population from this single
+    sequential stream (the draws happen before any per-task fan-out, so
+    partition invariance is not at stake); per-task streams are then
+    derived with :func:`derive_seeds`.  The raw ``default_rng(seed)``
+    construction is frozen — recorded populations replay from the
+    logged root seed alone.
+    """
+    return np.random.default_rng(root_seed)
+
+
 def derive_seeds(root_seed: int, count: int) -> list[int]:
     """Derive ``count`` integer task seeds from one root seed.
 

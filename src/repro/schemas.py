@@ -1,0 +1,51 @@
+"""The single source of truth for JSON artifact schema tags.
+
+Every JSON document the package emits — batch results, campaign
+ledgers, profile reports, benchmark artifacts, lint reports — carries a
+``"schema"`` field so downstream consumers (CI artifact readers, the
+resume path, the bench-history trend renderer) can detect format drift.
+Each tag is the string ``repro.<family>/v<N>``; bumping ``N`` is the
+contract for a breaking document change.
+
+This module is the only place a tag literal may be written.  Everything
+else imports the constant, and the ``repro lint`` schema-registry
+checker (invariant ``schema-single-source``) statically rejects any
+``repro.*/vN`` string literal outside this file — so a family can
+neither drift apart across emitters nor be defined at two versions at
+once.
+
+The module deliberately has zero dependencies (stdlib or internal), so
+any layer — including the leaf :mod:`repro.profiling` — can import it
+cycle-free.
+"""
+
+from __future__ import annotations
+
+#: Serialized :class:`repro.runtime.batch.BatchResult` documents
+#: (``repro mc --json``, experiment batches).
+BATCH_RESULT_SCHEMA = "repro.batch-result/v1"
+
+#: JSONL run ledgers and campaign reports
+#: (:mod:`repro.runtime.campaign`).
+CAMPAIGN_LEDGER_SCHEMA = "repro.campaign-ledger/v1"
+
+#: Raw per-stage profile documents
+#: (:meth:`repro.profiling.ProfileRecorder.to_dict`).
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: Side-by-side engine profile reports (``repro profile --json``).
+PROFILE_REPORT_SCHEMA = "repro.profile-report/v1"
+
+#: Engine-comparison benchmark artifacts
+#: (``benchmarks/bench_engines.py``).  v4 added the pvt-campaign
+#: workload and environment metadata; v5 the vectorized-fast
+#: configuration.
+BENCH_ENGINES_SCHEMA = "repro.bench-engines/v5"
+
+#: One perf-trajectory history entry
+#: (``benchmarks/bench_engines.py --history-dir``).
+BENCH_HISTORY_SCHEMA = "repro.bench-history/v1"
+
+#: Lint reports emitted by ``repro lint --json``
+#: (:mod:`repro.analysis`).
+LINT_REPORT_SCHEMA = "repro.lint-report/v1"

@@ -68,6 +68,34 @@ def noise_generator(die_seed: int, stream: int) -> np.random.Generator:
     return np.random.default_rng(children[stream])
 
 
+def mismatch_generator(die_seed: int) -> np.random.Generator:
+    """The die's construction-time mismatch generator.
+
+    Every mismatch draw of a die (bias, stage capacitors, comparator
+    offsets, flash ladder) comes from this one generator, consumed in
+    construction order, so a die's static personality is a function of
+    its seed alone.  It is deliberately the *raw* ``default_rng(seed)``
+    stream — distinct by construction from the reserved
+    ``SeedSequence``-spawned noise streams of :func:`noise_generator`,
+    and frozen: changing the derivation would silently re-draw every
+    die ever recorded in a ledger.
+    """
+    return np.random.default_rng(die_seed)
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    """A generator from one explicit raw seed.
+
+    The sanctioned escape hatch for call sites that accept a caller-
+    supplied seed instead of deriving one (explicit ``noise_seed``
+    overrides, population sampling roots).  Centralizing the
+    construction keeps ``repro lint``'s stream-discipline guarantee
+    meaningful: every generator in the tree is minted by a named,
+    documented root.
+    """
+    return np.random.default_rng(seed)
+
+
 def any_true(condition) -> bool:
     """``np.any`` that stays cheap for scalar comparisons.
 
