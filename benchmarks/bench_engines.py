@@ -19,6 +19,11 @@ execution-engine configuration:
   5-corner x 3-temperature x N-die grid, serial = the legacy
   ``ext-corners``-style per-cell ``DynamicTestbench`` loop, vectorized
   = corner-batched ``(cells, samples)`` AdcArray passes.
+- ``sharded-campaign`` — the scale-out path: the grid splits into two
+  shards (``CampaignSpec.shard``), each runs against its own ledger,
+  and ``merge_campaign_ledgers`` reassembles the campaign-wide report.
+  Measures the shard + merge overhead on top of the plain campaign and
+  asserts the merged metrics stay consistent with serial.
 
 Engine configurations per workload:
 
@@ -294,6 +299,51 @@ def _run_campaign_config(
     )
 
 
+def _run_sharded_campaign_config(
+    campaign_dies, n_fft, seed, engine, workers, precision="exact"
+):
+    """Two shards to their own ledgers, then the ledger merge."""
+    import tempfile
+
+    from repro.runtime.campaign import CampaignSpec
+    from repro.runtime.shards import (
+        merge_campaign_ledgers,
+        run_campaign_shard,
+    )
+    from repro.technology.corners import Corner
+
+    # A trimmed grid (3 corners, half the dies) bounds the cost: the
+    # workload measures shard + merge overhead, not raw conversion.
+    spec = CampaignSpec(
+        corners=(Corner.TT, Corner.FF, Corner.SS),
+        n_dies=max(1, campaign_dies // 2),
+        seed=seed,
+        n_samples=n_fft,
+        precision=precision,
+    )
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ledgers = []
+        for shard in spec.shards(2):
+            ledger = Path(tmpdir) / f"shard-{shard.index}.jsonl"
+            report = run_campaign_shard(
+                shard,
+                engine=engine,
+                workers=workers,
+                ledger_path=ledger,
+            )
+            report.batch.raise_first_failure()
+            ledgers.append(ledger)
+        merged = merge_campaign_ledgers(ledgers)
+    if not merged.complete:
+        raise RuntimeError(
+            f"merged report incomplete: {merged.missing_cell_indices()}"
+        )
+    return sorted(
+        (c.index, c.snr_db, c.sndr_db, c.sfdr_db, c.enob_bits)
+        for c in merged.cells
+    )
+
+
 def run_engine_comparison(
     dies: int = 32,
     n_fft: int = 4096,
@@ -305,6 +355,7 @@ def run_engine_comparison(
     include_yield_screen: bool = True,
     include_calibrated_yield: bool = True,
     include_campaign: bool = True,
+    include_sharded_campaign: bool = True,
 ) -> dict:
     """Time every engine configuration on the seeded workloads."""
     import numpy as np
@@ -388,6 +439,28 @@ def run_engine_comparison(
             },
             **_compare_configs(
                 lambda config: _run_campaign_config(
+                    campaign_dies,
+                    n_fft,
+                    seed,
+                    config["engine"],
+                    config["workers"],
+                    config.get("precision", "exact"),
+                ),
+                workers,
+            ),
+        }
+    if include_sharded_campaign:
+        workloads["sharded-campaign"] = {
+            "params": {
+                "corners": 3,
+                "temperatures": 3,
+                "dies": max(1, campaign_dies // 2),
+                "shards": 2,
+                "n_fft": n_fft,
+                "seed": seed,
+            },
+            **_compare_configs(
+                lambda config: _run_sharded_campaign_config(
                     campaign_dies,
                     n_fft,
                     seed,
@@ -817,6 +890,8 @@ def test_engine_comparison_smoke(tmp_path):
     assert document["workloads"]["calibrated-yield"]["all_consistent"]
     assert "pvt-campaign" in document["workloads"]
     assert document["workloads"]["pvt-campaign"]["all_consistent"]
+    assert "sharded-campaign" in document["workloads"]
+    assert document["workloads"]["sharded-campaign"]["all_consistent"]
     for workload in document["workloads"].values():
         fast = workload["engines"]["vectorized-fast"]
         assert fast["precision"] == "fast"
@@ -1000,6 +1075,11 @@ def main(argv=None) -> int:
         help="skip the pvt-campaign workload",
     )
     parser.add_argument(
+        "--skip-sharded-campaign",
+        action="store_true",
+        help="skip the sharded-campaign workload",
+    )
+    parser.add_argument(
         "--compare-baseline",
         type=Path,
         default=None,
@@ -1084,6 +1164,7 @@ def main(argv=None) -> int:
         include_yield_screen=not args.skip_yield_screen,
         include_calibrated_yield=not args.skip_calibrated_yield,
         include_campaign=not args.skip_campaign,
+        include_sharded_campaign=not args.skip_sharded_campaign,
     )
     args.out.write_text(json.dumps(document, indent=2))
     print(f"wrote {args.out}")

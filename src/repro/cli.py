@@ -10,6 +10,8 @@ Usage::
     repro mc --dies 32 --engine vectorized --calibrate
     repro campaign --dies 16 --ledger signoff.jsonl
     repro campaign --dies 16 --ledger signoff.jsonl --resume
+    repro campaign --dies 16 --shard 0/2 --ledger shard-0.jsonl
+    repro campaign-merge shard-0.jsonl shard-1.jsonl --json merged.json
     repro profile dynamic-screen --dies 8 --json profile.json
 
 (``python -m repro`` is equivalent to the installed ``repro`` script.)
@@ -49,8 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=f"Reproduction experiments for: {PAPER} (repro {__version__})",
         epilog=(
             "Monte Carlo yield analysis and PVT sign-off campaigns run "
-            "as separate subcommands: see 'repro mc --help' and "
-            "'repro campaign --help'."
+            "as separate subcommands: see 'repro mc --help', "
+            "'repro campaign --help' and 'repro campaign-merge --help'."
         ),
     )
     parser.add_argument(
@@ -388,6 +390,36 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only shard I of N (disjoint contiguous cell ranges "
+            "with identical per-cell seeds); merge the shard ledgers "
+            "afterwards with 'repro campaign-merge'"
+        ),
+    )
+    parser.add_argument(
+        "--cell-store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed cell-result store: cells whose physics "
+            "identity (config fingerprint, PVT point, die seed, bench "
+            "settings) already has an entry are reused with zero "
+            "recomputation; fresh results are written back"
+        ),
+    )
+    parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help=(
+            "skip fsync on ledger appends (faster; a power loss may "
+            "drop flushed batches)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=None,
@@ -398,6 +430,45 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print per-task progress to stderr",
+    )
+    return parser
+
+
+def build_campaign_merge_parser() -> argparse.ArgumentParser:
+    """The ``repro campaign-merge`` (shard merge) argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro campaign-merge",
+        description=(
+            "Merge the ledgers of sharded campaign runs into one "
+            "campaign-wide sign-off report.  All ledgers must share "
+            "one campaign fingerprint; overlapping cells must hold "
+            "identical records; gaps leave the report incomplete and "
+            "are listed as missing cell indices (exit code 1)."
+        ),
+    )
+    parser.add_argument(
+        "ledgers",
+        nargs="+",
+        type=Path,
+        metavar="LEDGER",
+        help="shard ledger files to merge (any order)",
+    )
+    parser.add_argument(
+        "--out-ledger",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the merged cells as a whole-grid ledger "
+            "(resumable by the unsharded campaign)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the merged campaign report document to PATH",
     )
     return parser
 
@@ -593,6 +664,9 @@ def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
         n_samples=args.fft_points,
         precision=args.precision,
     )
+    cell_range = None
+    if args.shard is not None:
+        cell_range = spec.shard(*_parse_shard(args.shard)).cell_range
     report = run_campaign(
         spec,
         engine=args.engine,
@@ -602,6 +676,9 @@ def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         progress=_stderr_progress if args.progress else None,
+        cell_range=cell_range,
+        cell_store=args.cell_store,
+        ledger_fsync=not args.no_fsync,
     )
     print(report.render())
     if args.json is not None:
@@ -612,6 +689,35 @@ def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
             return 2
         print(f"wrote {args.json}")
     return 1 if report.failures else 0
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    try:
+        index_text, count_text = text.split("/")
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise ReproError(
+            f"--shard must be INDEX/COUNT (e.g. 0/2), got '{text}'"
+        ) from None
+
+
+def run_campaign_merge_cli(argv: Sequence[str] | None = None) -> int:
+    """Run the ``campaign-merge`` subcommand; returns an exit code."""
+    from repro.runtime.shards import merge_campaign_ledgers
+
+    args = build_campaign_merge_parser().parse_args(argv)
+    report = merge_campaign_ledgers(args.ledgers, out_ledger=args.out_ledger)
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(report.to_json())
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    if args.out_ledger is not None:
+        print(f"wrote {args.out_ledger}")
+    return 0 if report.complete else 1
 
 
 def _stderr_progress(update: BatchProgress) -> None:
@@ -726,6 +832,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_mc(arguments[1:])
         if arguments and arguments[0] == "campaign":
             return run_campaign_cli(arguments[1:])
+        if arguments and arguments[0] == "campaign-merge":
+            return run_campaign_merge_cli(arguments[1:])
         if arguments and arguments[0] == "profile":
             return run_profile(arguments[1:])
         if arguments and arguments[0] == "lint":

@@ -32,9 +32,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle: shards builds on this module
+    from repro.runtime.cell_store import CellStore
+    from repro.runtime.shards import CampaignShard
 
 from repro.core.adc_array import AdcArray
 from repro.core.config import FINGERPRINT_EXCLUDED, AdcConfig
@@ -207,6 +213,42 @@ class CampaignSpec:
             "spec": json_safe(spec),
             "config": json_safe(config_dict),
         }
+
+    def shard(self, index: int, count: int) -> "CampaignShard":
+        """Shard ``index`` of ``count`` over this grid's cells.
+
+        The grid splits into ``count`` contiguous, disjoint, covering
+        cell ranges (balanced to within one cell, earlier shards take
+        the extras).  Every shard shares the parent spec — and with it
+        the per-cell seeds — so running all shards and merging their
+        ledgers (:func:`repro.runtime.shards.merge_campaign_ledgers`)
+        reproduces the single-process campaign bit for bit.
+        """
+        from repro.runtime.shards import CampaignShard
+
+        if count < 1:
+            raise ConfigurationError(
+                f"shard count must be >= 1, got {count}"
+            )
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {count}), got {index}"
+            )
+        if count > self.n_cells:
+            raise ConfigurationError(
+                f"cannot split {self.n_cells} cell(s) into {count} "
+                "shards (each shard needs at least one cell)"
+            )
+        base, extra = divmod(self.n_cells, count)
+        start = index * base + min(index, extra)
+        stop = start + base + (1 if index < extra else 0)
+        return CampaignShard(
+            spec=self, index=index, count=count, start=start, stop=stop
+        )
+
+    def shards(self, count: int) -> "tuple[CampaignShard, ...]":
+        """All ``count`` shards of the grid, in cell order."""
+        return tuple(self.shard(index, count) for index in range(count))
 
 
 @dataclass(frozen=True)
@@ -398,37 +440,115 @@ def measure_cell_chunk(task: CellChunkTask) -> tuple[CellMetrics, ...]:
     )
 
 
+def fingerprint_n_cells(fingerprint: dict) -> int:
+    """The grid size a campaign fingerprint describes.
+
+    Raises:
+        ConfigurationError: when the fingerprint does not carry a
+            recognizable campaign spec.
+    """
+    try:
+        spec = fingerprint["spec"]
+        return (
+            len(spec["corners"])
+            * len(spec["temperatures_c"])
+            * int(spec["n_dies"])
+        )
+    except (KeyError, TypeError, ValueError):
+        raise ConfigurationError(
+            "fingerprint does not describe a campaign grid "
+            "(missing corners/temperatures_c/n_dies)"
+        ) from None
+
+
+@dataclass(frozen=True)
+class LedgerContents:
+    """One parsed, validated ledger: header fields plus the records.
+
+    Attributes:
+        fingerprint: the campaign fingerprint from the header.
+        cell_range: the shard's ``[start, stop)`` cell range, or None
+            for an unsharded (whole-grid) ledger.
+        records: completed cells by grid index.
+    """
+
+    fingerprint: dict
+    cell_range: tuple[int, int] | None
+    records: dict[int, CellMetrics]
+
+
+def _format_range(cell_range: tuple[int, int] | None) -> str:
+    if cell_range is None:
+        return "the whole grid"
+    return f"cells [{cell_range[0]}, {cell_range[1]})"
+
+
 class CampaignLedger:
     """JSONL checkpoint file of completed campaign cells.
 
-    Line 1 is a header carrying the schema tag and the campaign
-    fingerprint; every further line is one completed cell's record.
-    Appends are flushed per write, so a killed campaign loses at most
-    the line being written — and a truncated trailing line is tolerated
-    on load (the cell simply re-runs).
+    Line 1 is a header carrying the schema tag, the campaign
+    fingerprint and — for sharded runs — the shard's cell range; every
+    further line is one completed cell's record.  Appends are flushed
+    *and fsynced* per batch (constructor ``fsync=False`` opts out and
+    weakens the guarantee to the OS page cache), so a killed campaign
+    loses at most the append batch in flight — and a truncated trailing
+    line is tolerated on load (the cell simply re-runs).
+
+    Loading validates every record: cell indices outside the campaign's
+    range and duplicate indices raise
+    :class:`~repro.errors.ConfigurationError` with the offending line
+    number instead of silently corrupting the merged report.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, fsync: bool = True):
         self.path = Path(path)
+        self.fsync = fsync
 
     def exists(self) -> bool:
         return self.path.exists()
 
-    def start(self, fingerprint: dict) -> None:
-        """Begin a fresh ledger (truncates any previous run)."""
-        header = {
+    def start(
+        self,
+        fingerprint: dict,
+        cell_range: tuple[int, int] | None = None,
+    ) -> None:
+        """Begin a fresh ledger (truncates any previous run).
+
+        Args:
+            fingerprint: the campaign fingerprint
+                (:meth:`CampaignSpec.fingerprint`) — for a shard, the
+                *parent* campaign's fingerprint, shared by every shard
+                of the grid.
+            cell_range: the shard's ``[start, stop)`` cell range; None
+                for a whole-grid ledger.
+        """
+        header: dict = {
             "schema": CAMPAIGN_LEDGER_SCHEMA,
             "fingerprint": fingerprint,
         }
-        self.path.write_text(json.dumps(header) + "\n")
+        if cell_range is not None:
+            header["shard"] = {
+                "start": int(cell_range[0]),
+                "stop": int(cell_range[1]),
+            }
+        with self.path.open("w") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
 
-    def load(self, fingerprint: dict) -> dict[int, CellMetrics]:
-        """Completed cells of a previous run with matching fingerprint.
+    def read(self) -> LedgerContents:
+        """Parse and validate the ledger without a fingerprint to match.
+
+        The merge path uses this directly (each shard carries its own
+        copy of the parent fingerprint); :meth:`load` adds the
+        fingerprint and shard-range checks a resume needs.
 
         Raises:
-            ConfigurationError: when the ledger belongs to a different
-                campaign (schema or fingerprint mismatch) or the header
-                is unreadable.
+            ConfigurationError: empty file, unreadable header, foreign
+                schema, an invalid shard range, a cell index outside
+                the valid range, a duplicate cell index, or corruption
+                that is not a torn tail.
         """
         lines = self.path.read_text().splitlines()
         if not lines:
@@ -445,36 +565,117 @@ class CampaignLedger:
                 f"{header.get('schema')!r}, expected "
                 f"{CAMPAIGN_LEDGER_SCHEMA!r}"
             )
-        if header.get("fingerprint") != fingerprint:
+        fingerprint = header.get("fingerprint")
+        if not isinstance(fingerprint, dict):
+            raise ConfigurationError(
+                f"ledger {self.path} header carries no fingerprint"
+            )
+        n_cells = fingerprint_n_cells(fingerprint)
+        cell_range = None
+        shard = header.get("shard")
+        if shard is not None:
+            try:
+                cell_range = (int(shard["start"]), int(shard["stop"]))
+            except (KeyError, TypeError, ValueError):
+                raise ConfigurationError(
+                    f"ledger {self.path} has an unreadable shard header: "
+                    f"{shard!r}"
+                ) from None
+            low, high = cell_range
+            if not 0 <= low < high <= n_cells:
+                raise ConfigurationError(
+                    f"ledger {self.path} declares shard cells "
+                    f"[{low}, {high}) outside the campaign grid "
+                    f"[0, {n_cells})"
+                )
+        low, high = cell_range if cell_range is not None else (0, n_cells)
+        # Indices (0-based) of the last line holding any content: only
+        # the trailing run of blank/undecodable lines — the possible
+        # remains of an interrupted append — is torn-tail tolerated.
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=0
+        )
+        records: dict[int, CellMetrics] = {}
+        for position, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                metrics = CellMetrics.from_record(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                if position - 1 == last_content:
+                    # Interrupted mid-append: drop the torn tail (and
+                    # any trailing blank lines after it), the cell
+                    # re-runs on resume.
+                    continue
+                raise ConfigurationError(
+                    f"ledger {self.path} line {position} is corrupt"
+                ) from None
+            if not low <= metrics.index < high:
+                raise ConfigurationError(
+                    f"ledger {self.path} line {position}: cell index "
+                    f"{metrics.index} outside [{low}, {high})"
+                )
+            if metrics.index in records:
+                raise ConfigurationError(
+                    f"ledger {self.path} line {position}: duplicate "
+                    f"cell index {metrics.index}"
+                )
+            records[metrics.index] = metrics
+        return LedgerContents(
+            fingerprint=fingerprint,
+            cell_range=cell_range,
+            records=records,
+        )
+
+    def load(
+        self,
+        fingerprint: dict,
+        cell_range: tuple[int, int] | None = None,
+    ) -> dict[int, CellMetrics]:
+        """Completed cells of a previous run with matching fingerprint.
+
+        Args:
+            fingerprint: the expected campaign fingerprint.
+            cell_range: the expected shard cell range (None for a
+                whole-grid run); a ledger covering a different range is
+                rejected.
+
+        Raises:
+            ConfigurationError: when the ledger belongs to a different
+                campaign (schema or fingerprint mismatch), covers a
+                different cell range, holds invalid records, or the
+                header is unreadable.
+        """
+        contents = self.read()
+        if contents.fingerprint != fingerprint:
             raise ConfigurationError(
                 f"ledger {self.path} was written by a different campaign "
                 "(grid, bench settings or converter configuration "
                 "differ); refusing to resume"
             )
-        completed: dict[int, CellMetrics] = {}
-        for position, line in enumerate(lines[1:], start=2):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                metrics = CellMetrics.from_record(record)
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                if position == len(lines):
-                    # Interrupted mid-append: drop the torn tail, the
-                    # cell re-runs on resume.
-                    continue
-                raise ConfigurationError(
-                    f"ledger {self.path} line {position} is corrupt"
-                ) from None
-            completed[metrics.index] = metrics
-        return completed
+        if contents.cell_range != cell_range:
+            raise ConfigurationError(
+                f"ledger {self.path} covers "
+                f"{_format_range(contents.cell_range)}, expected "
+                f"{_format_range(cell_range)}; refusing to resume"
+            )
+        return contents.records
 
     def record(self, cells: Iterable[CellMetrics]) -> None:
-        """Append completed cells (one JSON line each, flushed)."""
+        """Append completed cells (one JSON line each, flushed+fsynced).
+
+        With ``fsync`` (the default) the batch is forced to stable
+        storage before returning, so a killed campaign loses at most
+        the batch being written; ``fsync=False`` stops at the OS page
+        cache — faster, but a power loss may drop whole flushed
+        batches.
+        """
         with self.path.open("a") as handle:
             for cell in cells:
                 handle.write(json.dumps(cell.to_record()) + "\n")
             handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
 
 
 @dataclass(frozen=True)
@@ -486,9 +687,16 @@ class CampaignReport:
         cells: completed cells, in grid order (ledger-resumed cells
             merged with freshly measured ones).
         batch: the underlying batch result of the *fresh* cells.
-        engine: execution engine ("pool" or "vectorized"); per-cell
-            metrics are engine-independent.
+        engine: execution engine ("pool", "vectorized" or "merged");
+            per-cell metrics are engine-independent.
         resumed_cells: how many cells came from the ledger.
+        cell_range: the shard's ``[start, stop)`` cell range; None for
+            a whole-grid run.  Completeness is judged against this
+            range, so a shard report can be complete without covering
+            the grid.
+        cached_cells: how many cells came from the content-addressed
+            cell store (a subset of neither ``resumed_cells`` nor the
+            fresh batch).
     """
 
     spec: CampaignSpec
@@ -496,14 +704,34 @@ class CampaignReport:
     batch: BatchResult
     engine: str = "vectorized"
     resumed_cells: int = 0
+    cell_range: tuple[int, int] | None = None
+    cached_cells: int = 0
 
     @property
     def n_cells(self) -> int:
+        """Cells this report is responsible for (shard-aware)."""
+        if self.cell_range is not None:
+            return self.cell_range[1] - self.cell_range[0]
         return self.spec.n_cells
 
     @property
+    def expected_indices(self) -> range:
+        """The grid indices this report must cover to be complete."""
+        if self.cell_range is not None:
+            return range(self.cell_range[0], self.cell_range[1])
+        return range(self.spec.n_cells)
+
+    def missing_cell_indices(self) -> tuple[int, ...]:
+        """Expected grid indices with no completed cell, sorted."""
+        present = {cell.index for cell in self.cells}
+        return tuple(
+            index for index in self.expected_indices
+            if index not in present
+        )
+
+    @property
     def complete(self) -> bool:
-        return len(self.cells) == self.n_cells and not self.batch.failures
+        return not self.missing_cell_indices() and not self.batch.failures
 
     @property
     def failures(self) -> tuple[TaskOutcome, ...]:
@@ -599,17 +827,35 @@ class CampaignReport:
                 f"cell {failure.index} CRASHED: "
                 f"{failure.error_type}: {failure.error}"
             )
+        missing = self.missing_cell_indices()
+        if missing:
+            listed = ", ".join(str(index) for index in missing)
+            lines.append(
+                f"INCOMPLETE: {len(missing)} cell(s) missing "
+                f"(indices {listed})"
+            )
         resumed = (
             f" {self.resumed_cells} cell(s) resumed from ledger,"
             if self.resumed_cells
+            else ""
+        )
+        cached = (
+            f" {self.cached_cells} cell(s) from cell store,"
+            if self.cached_cells
+            else ""
+        )
+        shard = (
+            f" cells [{self.cell_range[0]}, {self.cell_range[1]}) of "
+            f"{self.spec.n_cells},"
+            if self.cell_range is not None
             else ""
         )
         tier = (
             " fast-precision," if self.spec.precision == "fast" else ""
         )
         lines.append(
-            f"campaign: {self.engine} engine,{tier}{resumed} "
-            f"{self.batch.workers} worker(s), "
+            f"campaign: {self.engine} engine,{tier}{shard}{resumed}"
+            f"{cached} {self.batch.workers} worker(s), "
             f"{self.batch.elapsed_s:.2f} s"
         )
         return "\n".join(lines)
@@ -621,7 +867,14 @@ class CampaignReport:
             "spec": json_safe(dataclasses.asdict(self.spec)),
             "n_cells": self.n_cells,
             "n_complete": len(self.cells),
+            "cell_range": (
+                list(self.cell_range)
+                if self.cell_range is not None
+                else None
+            ),
+            "missing_cells": list(self.missing_cell_indices()),
             "resumed_cells": self.resumed_cells,
+            "cached_cells": self.cached_cells,
             "n_failures": len(self.batch.failures),
             "elapsed_s": self.batch.elapsed_s,
             "workers": self.batch.workers,
@@ -663,6 +916,9 @@ def run_campaign(
     chunk_size: int | None = None,
     progress: ProgressCallback | None = None,
     mp_context: str | None = None,
+    cell_range: tuple[int, int] | None = None,
+    cell_store: "CellStore | str | Path | None" = None,
+    ledger_fsync: bool = True,
 ) -> CampaignReport:
     """Run (or resume) a PVT sign-off campaign.
 
@@ -688,6 +944,20 @@ def run_campaign(
         progress: progress callback (per cell for the pool engine, per
             cell chunk for the vectorized engine).
         mp_context: multiprocessing start method override.
+        cell_range: run only grid cells ``[start, stop)`` — a shard of
+            the campaign (usually via
+            :meth:`CampaignSpec.shard` and
+            :func:`repro.runtime.shards.run_campaign_shard`).  The
+            ledger header records the range, and the report's
+            completeness is judged against it.
+        cell_store: content-addressed cell-result store (a
+            :class:`~repro.runtime.cell_store.CellStore` or its root
+            directory).  Cells whose physics identity — config
+            fingerprint, PVT point, die seed, bench settings — already
+            has an entry are served from the store with zero
+            recomputation; fresh results are written back.
+        ledger_fsync: fsync ledger appends (default); ``False`` trades
+            the power-loss guarantee for speed.
 
     Returns:
         The :class:`CampaignReport`; crashed cells land in
@@ -714,26 +984,73 @@ def run_campaign(
             "precision='fast' needs the vectorized engine (the serial "
             "testbench is exact-only)"
         )
+    if cell_range is not None:
+        start, stop = cell_range
+        if not 0 <= start < stop <= spec.n_cells:
+            raise ConfigurationError(
+                f"cell_range [{start}, {stop}) is not a non-empty "
+                f"subrange of the campaign grid [0, {spec.n_cells})"
+            )
+        cell_range = (int(start), int(stop))
 
     cells = spec.cells()
+    if cell_range is not None:
+        cells = cells[cell_range[0] : cell_range[1]]
     fingerprint = spec.fingerprint(config)
     ledger: CampaignLedger | None = None
     completed: dict[int, CellMetrics] = {}
     if ledger_path is not None:
-        ledger = CampaignLedger(ledger_path)
+        ledger = CampaignLedger(ledger_path, fsync=ledger_fsync)
         if resume and ledger.exists():
-            completed = ledger.load(fingerprint)
+            completed = ledger.load(fingerprint, cell_range)
         else:
-            ledger.start(fingerprint)
-    pending = [cell for cell in cells if cell.index not in completed]
+            ledger.start(fingerprint, cell_range)
+    store = None
+    cached: dict[int, CellMetrics] = {}
+    if cell_store is not None:
+        from repro.runtime.cell_store import CellStore
+
+        store = (
+            cell_store
+            if isinstance(cell_store, CellStore)
+            else CellStore(cell_store)
+        ).bind(spec, config)
+        # Ledger-resumed cells back-fill the store so later campaigns
+        # sharing those cells hit it even without this ledger.
+        for cell in cells:
+            metrics = completed.get(cell.index)
+            if metrics is not None:
+                store.put(cell, metrics)
+        for cell in cells:
+            if cell.index in completed:
+                continue
+            metrics = store.get(cell)
+            if metrics is not None:
+                cached[cell.index] = metrics
+        if ledger is not None and cached:
+            ledger.record(
+                cached[index] for index in sorted(cached)
+            )
+    pending = [
+        cell
+        for cell in cells
+        if cell.index not in completed and cell.index not in cached
+    ]
 
     def checkpoint(update) -> None:
         outcome = update.latest
-        if ledger is not None and outcome is not None and outcome.ok:
+        if outcome is not None and outcome.ok:
             value = outcome.value
-            ledger.record(value if isinstance(value, tuple) else (value,))
+            fresh = value if isinstance(value, tuple) else (value,)
+            if ledger is not None:
+                ledger.record(fresh)
+            if store is not None:
+                for metrics in fresh:
+                    store.put(cell_by_index[metrics.index], metrics)
         if progress is not None:
             progress(update)
+
+    cell_by_index = {cell.index: cell for cell in cells}
 
     runner = BatchRunner(
         workers=workers,
@@ -780,6 +1097,7 @@ def run_campaign(
             seed_of=lambda cell: cell.die_seed,
         )
     merged = dict(completed)
+    merged.update(cached)
     for outcome in batch.outcomes:
         if outcome.ok:
             merged[outcome.index] = outcome.value
@@ -789,4 +1107,6 @@ def run_campaign(
         batch=batch,
         engine=engine,
         resumed_cells=len(completed),
+        cell_range=cell_range,
+        cached_cells=len(cached),
     )

@@ -1,0 +1,165 @@
+"""Content-addressed, on-disk store of completed campaign cells.
+
+A campaign cell's metrics are a pure function of its physics identity:
+the converter configuration (minus execution heuristics), the PVT
+point, the die seed, and the bench settings — the exact values
+:meth:`~repro.runtime.campaign.CampaignSpec.fingerprint` already
+collects for the ledger.  The store keys each completed cell by the
+SHA-256 of that identity, so any later campaign that shares a cell —
+a re-run, a different shard split, a spec iterating on one corner —
+resumes it with zero recomputation, across processes and grid shapes.
+
+This is the persistent, cross-campaign complement of the process-local
+:mod:`repro.core.die_cache`: the die cache skips rebuilding a die
+within one process, the cell store skips converting and analyzing the
+cell at all.  Grid position (cell index, die position) is deliberately
+*not* part of the key — the same (point, seed) cell at a different
+index in a different grid is still the same physics — so ``get``
+rebuilds the record under the requesting campaign's indices.
+
+Entries are one JSON file each under ``root/<key[:2]>/<key>.json``,
+written atomically (temp file + ``os.replace``), and any unreadable,
+mismatched or foreign-schema entry is treated as a miss — the cell
+simply re-runs and the entry is rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.config import AdcConfig
+from repro.profiling import active
+from repro.runtime.campaign import CampaignCell, CampaignSpec, CellMetrics
+from repro.schemas import CELL_STORE_SCHEMA
+
+#: Spec fields that shape a single cell's measurement (the bench
+#: settings).  Grid-shape fields (corners, temperatures_c, n_dies,
+#: die_seeds) are deliberately absent: the cell's own point and seed
+#: enter the key per cell, so cells are shareable across grids.
+_BENCH_FIELDS = (
+    "conversion_rate",
+    "input_frequency",
+    "n_samples",
+    "amplitude_fraction",
+    "precision",
+)
+
+
+class CellStore:
+    """A store root directory; :meth:`bind` ties it to one campaign."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def bind(self, spec: CampaignSpec, config: AdcConfig) -> BoundCellStore:
+        """The store scoped to one campaign's config and bench settings.
+
+        Binding precomputes the key payload shared by every cell of the
+        campaign from the same fingerprint the ledger uses, so per-cell
+        lookups hash only the cell-varying part on top.
+        """
+        fingerprint = spec.fingerprint(config)
+        base = {
+            "config": fingerprint["config"],
+            "bench": {
+                field: fingerprint["spec"][field] for field in _BENCH_FIELDS
+            },
+        }
+        return BoundCellStore(root=self.root, base=base)
+
+
+class BoundCellStore:
+    """One campaign's view of the store: get/put by :class:`CampaignCell`."""
+
+    def __init__(self, root: Path, base: dict):
+        self.root = root
+        self.base = base
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, cell: CampaignCell) -> str:
+        payload = {
+            **self.base,
+            "cell": {
+                "corner": cell.corner.value,
+                "temperature_c": float(cell.temperature_c),
+                "supply_scale": float(cell.supply_scale),
+                "die_seed": int(cell.die_seed),
+            },
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        return digest
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: CampaignCell) -> CellMetrics | None:
+        """The stored metrics for this cell's physics identity, or None.
+
+        A hit rebuilds the record under the *requesting* campaign's
+        grid index and die position; any unreadable or mismatched entry
+        is a miss (the cell re-runs and overwrites it).
+        """
+        key = self._key(cell)
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+            if entry.get("schema") != CELL_STORE_SCHEMA:
+                raise ValueError("foreign schema")
+            if entry.get("key") != key:
+                raise ValueError("key mismatch")
+            metrics = entry["metrics"]
+            result = CellMetrics(
+                index=cell.index,
+                corner=cell.corner.value,
+                temperature_c=cell.temperature_c,
+                die_index=cell.die_index,
+                seed=cell.die_seed,
+                snr_db=float(metrics["snr_db"]),
+                sndr_db=float(metrics["sndr_db"]),
+                sfdr_db=float(metrics["sfdr_db"]),
+                enob_bits=float(metrics["enob_bits"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            recorder = active()
+            if recorder is not None:
+                recorder.add("campaign", "cell-store-miss", 0.0)
+            return None
+        self.hits += 1
+        recorder = active()
+        if recorder is not None:
+            recorder.add("campaign", "cell-store-hit", 0.0)
+        return result
+
+    def put(self, cell: CampaignCell, metrics: CellMetrics) -> None:
+        """Store one completed cell (idempotent; atomic per entry)."""
+        key = self._key(cell)
+        path = self._path(key)
+        if path.exists():
+            return
+        entry = {
+            "schema": CELL_STORE_SCHEMA,
+            "key": key,
+            "cell": {
+                "corner": cell.corner.value,
+                "temperature_c": float(cell.temperature_c),
+                "supply_scale": float(cell.supply_scale),
+                "die_seed": int(cell.die_seed),
+            },
+            "metrics": {
+                "snr_db": metrics.snr_db,
+                "sndr_db": metrics.sndr_db,
+                "sfdr_db": metrics.sfdr_db,
+                "enob_bits": metrics.enob_bits,
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        os.replace(tmp, path)

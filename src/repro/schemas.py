@@ -26,8 +26,15 @@ from __future__ import annotations
 BATCH_RESULT_SCHEMA = "repro.batch-result/v1"
 
 #: JSONL run ledgers and campaign reports
-#: (:mod:`repro.runtime.campaign`).
-CAMPAIGN_LEDGER_SCHEMA = "repro.campaign-ledger/v1"
+#: (:mod:`repro.runtime.campaign`).  v2 added the optional ``shard``
+#: header (a campaign's cell range, for sharded runs), cell-index
+#: validation on load, and the report's shard/cache fields.
+CAMPAIGN_LEDGER_SCHEMA = "repro.campaign-ledger/v2"
+
+#: Content-addressed cell-result store entries
+#: (:mod:`repro.runtime.cell_store`): one completed campaign cell,
+#: keyed by (config fingerprint, PVT point, die seed, bench settings).
+CELL_STORE_SCHEMA = "repro.cell-store/v1"
 
 #: Raw per-stage profile documents
 #: (:meth:`repro.profiling.ProfileRecorder.to_dict`).
@@ -39,8 +46,8 @@ PROFILE_REPORT_SCHEMA = "repro.profile-report/v1"
 #: Engine-comparison benchmark artifacts
 #: (``benchmarks/bench_engines.py``).  v4 added the pvt-campaign
 #: workload and environment metadata; v5 the vectorized-fast
-#: configuration.
-BENCH_ENGINES_SCHEMA = "repro.bench-engines/v5"
+#: configuration; v6 the sharded-campaign workload.
+BENCH_ENGINES_SCHEMA = "repro.bench-engines/v6"
 
 #: One perf-trajectory history entry
 #: (``benchmarks/bench_engines.py --history-dir``).

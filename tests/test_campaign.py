@@ -349,6 +349,145 @@ class TestLedgerResume:
         assert header["schema"] == CAMPAIGN_LEDGER_SCHEMA
 
 
+class TestLedgerValidation:
+    """Adversarial ledgers are rejected, never silently accepted."""
+
+    @pytest.fixture(scope="class")
+    def fingerprint(self, small_spec, paper_config):
+        return small_spec.fingerprint(paper_config)
+
+    @pytest.fixture()
+    def written(self, small_spec, tmp_path):
+        """A completed whole-grid ledger in a fresh tmp dir."""
+        ledger = tmp_path / "run.jsonl"
+        run_campaign(small_spec, ledger_path=ledger)
+        return ledger
+
+    def test_rejects_out_of_range_index(
+        self, written, fingerprint, small_spec
+    ):
+        record = json.loads(written.read_text().splitlines()[1])
+        record["index"] = small_spec.n_cells  # one past the grid
+        lines = written.read_text().splitlines()
+        lines.append(json.dumps(record))
+        written.write_text("\n".join(lines) + "\n")
+        position = len(lines)
+        with pytest.raises(
+            ConfigurationError,
+            match=(
+                rf"line {position}: cell index {small_spec.n_cells} "
+                rf"outside \[0, {small_spec.n_cells}\)"
+            ),
+        ):
+            CampaignLedger(written).load(fingerprint)
+
+    def test_rejects_duplicate_index(self, written, fingerprint):
+        lines = written.read_text().splitlines()
+        lines.append(lines[1])  # replay the first record verbatim
+        written.write_text("\n".join(lines) + "\n")
+        duplicated = json.loads(lines[1])["index"]
+        with pytest.raises(
+            ConfigurationError,
+            match=(
+                rf"line {len(lines)}: duplicate cell index {duplicated}"
+            ),
+        ):
+            CampaignLedger(written).load(fingerprint)
+
+    def test_tolerates_torn_tail_with_trailing_newline(
+        self, written, fingerprint, small_spec
+    ):
+        """A torn record plus trailing blank lines is still a torn tail."""
+        written.write_text(
+            written.read_text() + '{"index": 5, "corner"\n\n\n'
+        )
+        records = CampaignLedger(written).load(fingerprint)
+        assert len(records) == small_spec.n_cells
+
+    def test_rejects_torn_record_mid_file(self, written, fingerprint):
+        lines = written.read_text().splitlines()
+        lines.insert(3, '{"index": 5, "corner"')  # valid records follow
+        written.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            ConfigurationError, match="line 4 is corrupt"
+        ):
+            CampaignLedger(written).load(fingerprint)
+
+    def test_rejects_foreign_fingerprint(self, written, paper_config):
+        other = CampaignSpec(**{**SMALL, "n_samples": 1024})
+        with pytest.raises(
+            ConfigurationError, match="different campaign"
+        ):
+            CampaignLedger(written).load(other.fingerprint(paper_config))
+
+    def test_record_fsyncs_each_batch(
+        self, tmp_path, fingerprint, vectorized_report, monkeypatch
+    ):
+        import repro.runtime.campaign as campaign_module
+
+        synced = []
+        real_fsync = campaign_module.os.fsync
+
+        def counting_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(campaign_module.os, "fsync", counting_fsync)
+        ledger = CampaignLedger(tmp_path / "synced.jsonl")
+        ledger.start(fingerprint)
+        ledger.record(vectorized_report.cells[:2])
+        ledger.record(vectorized_report.cells[2:4])
+        assert len(synced) == 3  # header + one per append batch
+
+        synced.clear()
+        lazy = CampaignLedger(tmp_path / "lazy.jsonl", fsync=False)
+        lazy.start(fingerprint)
+        lazy.record(vectorized_report.cells[:2])
+        assert synced == []
+        assert len(lazy.load(fingerprint)) == 2
+
+    def test_shard_header_roundtrip(
+        self, tmp_path, fingerprint, vectorized_report
+    ):
+        ledger = CampaignLedger(tmp_path / "shard.jsonl")
+        ledger.start(fingerprint, cell_range=(0, 4))
+        ledger.record(vectorized_report.cells[:4])
+        contents = ledger.read()
+        assert contents.cell_range == (0, 4)
+        assert sorted(contents.records) == [0, 1, 2, 3]
+        # A resume expecting a different range (or none) is refused.
+        with pytest.raises(
+            ConfigurationError, match="refusing to resume"
+        ):
+            ledger.load(fingerprint)
+        with pytest.raises(
+            ConfigurationError, match="refusing to resume"
+        ):
+            ledger.load(fingerprint, cell_range=(4, 8))
+        assert len(ledger.load(fingerprint, cell_range=(0, 4))) == 4
+
+    def test_rejects_shard_record_outside_declared_range(
+        self, tmp_path, fingerprint, vectorized_report
+    ):
+        ledger = CampaignLedger(tmp_path / "shard.jsonl")
+        ledger.start(fingerprint, cell_range=(0, 4))
+        ledger.record((vectorized_report.cells[5],))
+        with pytest.raises(
+            ConfigurationError, match=r"cell index 5 outside \[0, 4\)"
+        ):
+            ledger.read()
+
+    def test_rejects_shard_range_outside_grid(
+        self, tmp_path, fingerprint, small_spec
+    ):
+        ledger = CampaignLedger(tmp_path / "shard.jsonl")
+        ledger.start(fingerprint, cell_range=(4, small_spec.n_cells + 1))
+        with pytest.raises(
+            ConfigurationError, match="outside the campaign grid"
+        ):
+            ledger.read()
+
+
 class TestReport:
     def test_report_document(self, vectorized_report, small_spec):
         document = json.loads(vectorized_report.to_json())
