@@ -11,7 +11,12 @@ Usage::
     repro campaign --dies 16 --ledger signoff.jsonl
     repro campaign --dies 16 --ledger signoff.jsonl --resume
     repro campaign --dies 16 --shard 0/2 --ledger shard-0.jsonl
+    repro campaign --dies 16 --cell-range 3:9 --ledger gap.jsonl
     repro campaign-merge shard-0.jsonl shard-1.jsonl --json merged.json
+    repro campaign-dispatch --dies 16 --shards 4 --work-dir dispatch/
+    repro cell-store stats cells/
+    repro cell-store verify cells/ --fix
+    repro cell-store prune cells/ --max-age-days 30
     repro profile dynamic-screen --dies 8 --json profile.json
 
 (``python -m repro`` is equivalent to the installed ``repro`` script.)
@@ -20,7 +25,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -39,7 +47,12 @@ from repro.runtime.campaign import (
 )
 from repro.runtime.montecarlo import YieldSpec, run_yield_analysis
 from repro.runtime.profiling import ENGINES, WORKLOADS, profile_workload
-from repro.schemas import LINT_REPORT_SCHEMA, PROFILE_REPORT_SCHEMA
+from repro.schemas import (
+    CELL_STORE_REPORT_SCHEMA,
+    DISPATCH_REPORT_SCHEMA,
+    LINT_REPORT_SCHEMA,
+    PROFILE_REPORT_SCHEMA,
+)
 from repro.technology.corners import Corner
 from repro.version import PAPER, __version__
 
@@ -52,7 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Monte Carlo yield analysis and PVT sign-off campaigns run "
             "as separate subcommands: see 'repro mc --help', "
-            "'repro campaign --help' and 'repro campaign-merge --help'."
+            "'repro campaign --help', 'repro campaign-merge --help', "
+            "'repro campaign-dispatch --help' and "
+            "'repro cell-store --help'."
         ),
     )
     parser.add_argument(
@@ -236,20 +251,14 @@ def build_mc_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_campaign_parser() -> argparse.ArgumentParser:
-    """The ``repro campaign`` (PVT sign-off) argument parser."""
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-grid and bench flags (shared by campaign/dispatch).
+
+    Everything here maps 1:1 onto a :class:`CampaignSpec` field — see
+    :func:`_spec_from_args` — so the dispatcher can hand any spec to
+    its ``repro campaign`` subprocesses over the command line.
+    """
     defaults = CampaignSpec()
-    parser = argparse.ArgumentParser(
-        prog="repro campaign",
-        description=(
-            "Corner-batched PVT sign-off campaign: every requested "
-            "process corner x temperature x die is one grid cell, "
-            "measured dynamically (SNR/SNDR/SFDR/ENOB) and rolled up "
-            "into a min/typ/max sign-off datasheet.  Completed cells "
-            "checkpoint to a JSONL run ledger, so an interrupted "
-            "campaign resumes without recomputation (--ledger/--resume)."
-        ),
-    )
     parser.add_argument(
         "--corners",
         default="all",
@@ -325,6 +334,82 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--amplitude",
+        type=float,
+        default=defaults.amplitude_fraction,
+        metavar="FRAC",
+        help=(
+            "stimulus amplitude relative to full scale "
+            f"(default {defaults.amplitude_fraction})"
+        ),
+    )
+    parser.add_argument(
+        "--supply-scale",
+        type=float,
+        default=defaults.supply_scale,
+        metavar="X",
+        help=(
+            "shared supply multiplier for every operating point "
+            f"(default {defaults.supply_scale})"
+        ),
+    )
+    parser.add_argument(
+        "--precision",
+        choices=("exact", "fast"),
+        default="exact",
+        help=(
+            "'exact' is bit-exact across engines; 'fast' runs the "
+            "vectorized engine in float32 with fused noise draws — "
+            "statistically equivalent metrics, faster; part of the "
+            "ledger fingerprint (default exact)"
+        ),
+    )
+
+
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the :class:`CampaignSpec` the shared spec flags describe."""
+    die_seeds = None
+    if args.die_seeds is not None:
+        try:
+            die_seeds = tuple(
+                int(token)
+                for token in args.die_seeds.split(",")
+                if token.strip()
+            )
+        except ValueError:
+            raise ReproError(
+                "--die-seeds must be a comma-separated integer list"
+            ) from None
+    return CampaignSpec(
+        corners=_parse_corners(args.corners),
+        temperatures_c=_parse_floats(args.temps, "--temps"),
+        n_dies=args.dies,
+        seed=args.seed,
+        die_seeds=die_seeds,
+        supply_scale=args.supply_scale,
+        conversion_rate=args.rate,
+        input_frequency=args.fin,
+        n_samples=args.fft_points,
+        amplitude_fraction=args.amplitude,
+        precision=args.precision,
+    )
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """The ``repro campaign`` (PVT sign-off) argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description=(
+            "Corner-batched PVT sign-off campaign: every requested "
+            "process corner x temperature x die is one grid cell, "
+            "measured dynamically (SNR/SNDR/SFDR/ENOB) and rolled up "
+            "into a min/typ/max sign-off datasheet.  Completed cells "
+            "checkpoint to a JSONL run ledger, so an interrupted "
+            "campaign resumes without recomputation (--ledger/--resume)."
+        ),
+    )
+    _add_spec_arguments(parser)
+    parser.add_argument(
         "--engine",
         choices=("pool", "vectorized"),
         default="vectorized",
@@ -344,17 +429,6 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help=(
             "cells per vectorized batch (vectorized engine only; "
             "default: split across workers, cache-bounded)"
-        ),
-    )
-    parser.add_argument(
-        "--precision",
-        choices=("exact", "fast"),
-        default="exact",
-        help=(
-            "'exact' is bit-exact across engines; 'fast' runs the "
-            "vectorized engine in float32 with fused noise draws — "
-            "statistically equivalent metrics, faster; part of the "
-            "ledger fingerprint (default exact)"
         ),
     )
     parser.add_argument(
@@ -397,6 +471,16 @@ def build_campaign_parser() -> argparse.ArgumentParser:
             "run only shard I of N (disjoint contiguous cell ranges "
             "with identical per-cell seeds); merge the shard ledgers "
             "afterwards with 'repro campaign-merge'"
+        ),
+    )
+    parser.add_argument(
+        "--cell-range",
+        default=None,
+        metavar="START:STOP",
+        help=(
+            "run only grid cells [START, STOP) — an arbitrary "
+            "contiguous slice (what the gap-driven dispatcher "
+            "re-dispatches); mutually exclusive with --shard"
         ),
     )
     parser.add_argument(
@@ -641,32 +725,14 @@ def run_campaign_cli(argv: Sequence[str] | None = None) -> int:
     args = build_campaign_parser().parse_args(argv)
     if args.resume and args.ledger is None:
         raise ReproError("--resume needs --ledger")
-    die_seeds = None
-    if args.die_seeds is not None:
-        try:
-            die_seeds = tuple(
-                int(token)
-                for token in args.die_seeds.split(",")
-                if token.strip()
-            )
-        except ValueError:
-            raise ReproError(
-                "--die-seeds must be a comma-separated integer list"
-            ) from None
-    spec = CampaignSpec(
-        corners=_parse_corners(args.corners),
-        temperatures_c=_parse_floats(args.temps, "--temps"),
-        n_dies=args.dies,
-        seed=args.seed,
-        die_seeds=die_seeds,
-        conversion_rate=args.rate,
-        input_frequency=args.fin,
-        n_samples=args.fft_points,
-        precision=args.precision,
-    )
+    spec = _spec_from_args(args)
+    if args.shard is not None and args.cell_range is not None:
+        raise ReproError("--shard and --cell-range are mutually exclusive")
     cell_range = None
     if args.shard is not None:
         cell_range = spec.shard(*_parse_shard(args.shard)).cell_range
+    elif args.cell_range is not None:
+        cell_range = _parse_cell_range(args.cell_range)
     report = run_campaign(
         spec,
         engine=args.engine,
@@ -701,6 +767,16 @@ def _parse_shard(text: str) -> tuple[int, int]:
         ) from None
 
 
+def _parse_cell_range(text: str) -> tuple[int, int]:
+    try:
+        start_text, stop_text = text.split(":")
+        return int(start_text), int(stop_text)
+    except ValueError:
+        raise ReproError(
+            f"--cell-range must be START:STOP (e.g. 3:9), got '{text}'"
+        ) from None
+
+
 def run_campaign_merge_cli(argv: Sequence[str] | None = None) -> int:
     """Run the ``campaign-merge`` subcommand; returns an exit code."""
     from repro.runtime.shards import merge_campaign_ledgers
@@ -718,6 +794,290 @@ def run_campaign_merge_cli(argv: Sequence[str] | None = None) -> int:
     if args.out_ledger is not None:
         print(f"wrote {args.out_ledger}")
     return 0 if report.complete else 1
+
+
+def build_campaign_dispatch_parser() -> argparse.ArgumentParser:
+    """The ``repro campaign-dispatch`` (gap-driven dispatcher) parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro campaign-dispatch",
+        description=(
+            "Run a sharded PVT campaign to completion: plan N shards, "
+            "launch each as a 'repro campaign' subprocess against its "
+            "own ledger, then merge the ledgers, coalesce any missing "
+            "cells into contiguous ranges and re-dispatch only those "
+            "ranges — with exponential deterministic-jitter backoff — "
+            "until the merged grid is complete or the per-cell retry "
+            "budget is exhausted.  Resumable: existing ledgers in the "
+            "work directory are merged before any work launches."
+        ),
+    )
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "first-wave shard count and per-wave concurrency cap "
+            "(default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "re-dispatches allowed per cell beyond its first launch "
+            "before the dispatch reports exhaustion (default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill a shard subprocess exceeding this wall time; its "
+            "range re-enters the gap pool (default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "base of the exponential retry backoff; jitter is "
+            "deterministic per campaign fingerprint (default 0: "
+            "retry immediately)"
+        ),
+    )
+    parser.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="ceiling on the un-jittered backoff delay (default 60)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="shard subprocess poll cadence (default 0.05)",
+    )
+    parser.add_argument(
+        "--work-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help=(
+            "directory holding the per-range shard ledgers (the unit "
+            "of dispatcher resume; one campaign per directory)"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("pool", "vectorized"),
+        default="vectorized",
+        help="execution engine for the shard subprocesses (default vectorized)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per shard subprocess (default 1)",
+    )
+    parser.add_argument(
+        "--cell-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cells per vectorized batch inside each shard; 1 makes "
+            "the shard ledgers checkpoint per cell (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--cell-store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed cell-result store shared by all shard "
+            "subprocesses"
+        ),
+    )
+    parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on shard-ledger appends (faster, weaker durability)",
+    )
+    parser.add_argument(
+        "--out-ledger",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the merged cells as a whole-grid ledger "
+            "(resumable by the unsharded campaign)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the dispatch report document "
+            f"(schema {DISPATCH_REPORT_SCHEMA}) to PATH"
+        ),
+    )
+    return parser
+
+
+def run_campaign_dispatch_cli(argv: Sequence[str] | None = None) -> int:
+    """Run the ``campaign-dispatch`` subcommand; returns an exit code."""
+    from repro.runtime.dispatcher import (
+        FAULT_KILL_ENV,
+        CampaignDispatcher,
+        parse_fault_kill,
+    )
+
+    args = build_campaign_dispatch_parser().parse_args(argv)
+    spec = _spec_from_args(args)
+    dispatcher = CampaignDispatcher(
+        spec,
+        shards=args.shards,
+        work_dir=args.work_dir,
+        max_retries=args.max_retries,
+        timeout_s=args.timeout,
+        backoff_base_s=args.backoff,
+        backoff_cap_s=args.backoff_cap,
+        poll_interval_s=args.poll,
+        engine=args.engine,
+        workers=args.workers,
+        cell_chunk=args.cell_chunk,
+        cell_store=args.cell_store,
+        fsync=not args.no_fsync,
+        out_ledger=args.out_ledger,
+        fault_kill=parse_fault_kill(os.environ.get(FAULT_KILL_ENV)),
+    )
+    report = dispatcher.run()
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(report.to_json())
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    if args.out_ledger is not None:
+        print(f"wrote {args.out_ledger}")
+    return 0 if report.complete else 1
+
+
+def build_cell_store_parser() -> argparse.ArgumentParser:
+    """The ``repro cell-store`` (store hygiene) argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro cell-store",
+        description=(
+            "Hygiene sweeps over a content-addressed cell-result "
+            "store: 'stats' counts entries and bytes per campaign "
+            "base, 'verify' integrity-checks every entry (--fix moves "
+            "damaged entries to <root>/quarantine/ instead of deleting "
+            "evidence), 'prune' removes entries by age and/or by "
+            "campaign-base digest."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "verify", "prune"),
+        help="which sweep to run",
+    )
+    parser.add_argument(
+        "root",
+        type=Path,
+        metavar="DIR",
+        help="the store root directory",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="verify only: quarantine damaged entries under <root>/quarantine/",
+    )
+    parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="prune only: remove entries older than this many days",
+    )
+    parser.add_argument(
+        "--fingerprint",
+        default=None,
+        metavar="DIGEST",
+        help=(
+            "prune only: remove entries of this campaign-base digest "
+            "(shown by 'stats'; a retired configuration's cells)"
+        ),
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="prune only: report what would be removed, touch nothing",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the sweep report document "
+            f"(schema {CELL_STORE_REPORT_SCHEMA}) to PATH"
+        ),
+    )
+    return parser
+
+
+def run_cell_store_cli(argv: Sequence[str] | None = None) -> int:
+    """Run the ``cell-store`` subcommand; returns a process exit code."""
+    from repro.runtime.cell_store import CellStore
+
+    args = build_cell_store_parser().parse_args(argv)
+    store = CellStore(args.root)
+    exit_code = 0
+    if args.action == "stats":
+        report = store.stats()
+    elif args.action == "verify":
+        report = store.verify(fix=args.fix)
+        exit_code = 0 if report.clean else 1
+    else:
+        if args.max_age_days is None and args.fingerprint is None:
+            raise ReproError(
+                "prune needs --max-age-days and/or --fingerprint"
+            )
+        report = store.prune(
+            max_age_s=(
+                args.max_age_days * 86400.0
+                if args.max_age_days is not None
+                else None
+            ),
+            fingerprint=args.fingerprint,
+            now=time.time(),
+            dry_run=args.dry_run,
+        )
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(json.dumps(report.to_dict(), indent=2))
+        except OSError as error:
+            print(f"error: cannot write {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    return exit_code
 
 
 def _stderr_progress(update: BatchProgress) -> None:
@@ -834,6 +1194,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_campaign_cli(arguments[1:])
         if arguments and arguments[0] == "campaign-merge":
             return run_campaign_merge_cli(arguments[1:])
+        if arguments and arguments[0] == "campaign-dispatch":
+            return run_campaign_dispatch_cli(arguments[1:])
+        if arguments and arguments[0] == "cell-store":
+            return run_cell_store_cli(arguments[1:])
         if arguments and arguments[0] == "profile":
             return run_profile(arguments[1:])
         if arguments and arguments[0] == "lint":

@@ -62,7 +62,12 @@ stage / phase           what it times
 ``dispatch/*``          BatchRunner task wall times (worker-side,
                         aggregated by the dispatching process; overlaps
                         the stages above, so it is reported separately
-                        and excluded from share-of-run accounting)
+                        and excluded from share-of-run accounting).
+                        The gap-driven campaign dispatcher adds
+                        ``dispatch/shard-wait`` (wall time waiting on a
+                        wave of shard subprocesses) and
+                        ``dispatch/backoff`` (retry-round backoff
+                        sleeps) under the same overlay rule
 ``task/*``              one whole measurement task (die, die chunk,
                         campaign cell, cell chunk)
 ======================  ================================================

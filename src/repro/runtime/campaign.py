@@ -707,6 +707,33 @@ class CampaignReport:
     cell_range: tuple[int, int] | None = None
     cached_cells: int = 0
 
+    @classmethod
+    def from_records(
+        cls,
+        spec: CampaignSpec,
+        records: "dict[int, CellMetrics]",
+        engine: str = "merged",
+    ) -> "CampaignReport":
+        """A report assembled from already-measured cells.
+
+        The shared exit of every path that reunites cells measured
+        elsewhere — ledger merging (:func:`repro.runtime.shards.
+        merge_campaign_ledgers`) and the gap-driven dispatcher
+        (:class:`repro.runtime.dispatcher.CampaignDispatcher`).  The
+        batch is empty (nothing ran here) and every cell counts as
+        resumed; completeness is judged against the whole grid.
+        """
+        cells = tuple(records[index] for index in sorted(records))
+        return cls(
+            spec=spec,
+            cells=cells,
+            batch=BatchResult(
+                outcomes=(), workers=1, chunk_size=1, elapsed_s=0.0
+            ),
+            engine=engine,
+            resumed_cells=len(cells),
+        )
+
     @property
     def n_cells(self) -> int:
         """Cells this report is responsible for (shard-aware)."""

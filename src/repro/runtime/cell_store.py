@@ -21,19 +21,39 @@ Entries are one JSON file each under ``root/<key[:2]>/<key>.json``,
 written atomically (temp file + ``os.replace``), and any unreadable,
 mismatched or foreign-schema entry is treated as a miss — the cell
 simply re-runs and the entry is rewritten.
+
+Long-lived stores accumulate — every campaign iteration, every retired
+converter configuration leaves its cells behind — so the store also
+carries the hygiene surface ``repro cell-store`` exposes:
+:meth:`CellStore.stats` (entry counts and bytes per campaign base),
+:meth:`CellStore.verify` (integrity sweep; ``fix`` quarantines bad
+entries under ``root/quarantine/`` instead of deleting evidence) and
+:meth:`CellStore.prune` (drop entries by age or by campaign-base
+digest).  Each entry records the SHA-256 of its campaign base (config
+fingerprint + bench settings) as ``"base"`` so prune can target one
+retired configuration; pre-hygiene entries without the field still hit.
+
+Every sweep, and every ``get``/``put``, tolerates files vanishing
+underneath it: a concurrent ``prune`` (or another process's verify
+``--fix``) deleting an entry between listing and read degrades to a
+cache miss / a skipped row, never a ``FileNotFoundError``.
 """
 
 from __future__ import annotations
 
-import hashlib
+import dataclasses
 import json
 import os
+from dataclasses import dataclass
+from hashlib import sha256
+from math import isfinite
 from pathlib import Path
 
 from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
 from repro.profiling import active
 from repro.runtime.campaign import CampaignCell, CampaignSpec, CellMetrics
-from repro.schemas import CELL_STORE_SCHEMA
+from repro.schemas import CELL_STORE_REPORT_SCHEMA, CELL_STORE_SCHEMA
 
 #: Spec fields that shape a single cell's measurement (the bench
 #: settings).  Grid-shape fields (corners, temperatures_c, n_dies,
@@ -48,8 +68,157 @@ _BENCH_FIELDS = (
 )
 
 
+#: Subdirectory :meth:`CellStore.verify` moves damaged entries into.
+QUARANTINE_DIR = "quarantine"
+
+#: Metric fields every store entry must carry, each a finite float.
+_METRIC_FIELDS = ("snr_db", "sndr_db", "sfdr_db", "enob_bits")
+
+
+def _digest(payload: dict) -> str:
+    return sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellStoreStats:
+    """One :meth:`CellStore.stats` sweep.
+
+    Attributes:
+        root: the store root directory.
+        n_entries: readable entries currently in the store.
+        total_bytes: bytes those entries occupy.
+        campaigns: entry count per campaign-base digest; entries
+            predating the ``base`` field group under ``"unknown"``.
+        n_unreadable: entries that did not parse (verify's business).
+        n_quarantined: entries sitting in ``root/quarantine/``.
+    """
+
+    root: str
+    n_entries: int
+    total_bytes: int
+    campaigns: dict[str, int]
+    n_unreadable: int
+    n_quarantined: int
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CELL_STORE_REPORT_SCHEMA,
+            "action": "stats",
+            **dataclasses.asdict(self),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"cell store {self.root}: {self.n_entries} entr"
+            f"{'y' if self.n_entries == 1 else 'ies'}, "
+            f"{self.total_bytes} bytes"
+        ]
+        for base, count in sorted(self.campaigns.items()):
+            lines.append(f"  campaign base {base}: {count} cell(s)")
+        if self.n_unreadable:
+            lines.append(
+                f"  {self.n_unreadable} unreadable entr"
+                f"{'y' if self.n_unreadable == 1 else 'ies'} "
+                "(run 'repro cell-store verify')"
+            )
+        if self.n_quarantined:
+            lines.append(f"  {self.n_quarantined} quarantined entr"
+                         f"{'y' if self.n_quarantined == 1 else 'ies'}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CellStoreProblem:
+    """One damaged entry a :meth:`CellStore.verify` sweep found."""
+
+    path: str
+    reason: str
+    quarantined: bool = False
+
+
+@dataclass(frozen=True)
+class CellStoreVerifyReport:
+    """One :meth:`CellStore.verify` sweep: per-entry integrity verdicts."""
+
+    root: str
+    n_entries: int
+    n_ok: int
+    problems: tuple[CellStoreProblem, ...]
+    fixed: bool
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CELL_STORE_REPORT_SCHEMA,
+            "action": "verify",
+            "root": self.root,
+            "n_entries": self.n_entries,
+            "n_ok": self.n_ok,
+            "fixed": self.fixed,
+            "problems": [
+                dataclasses.asdict(problem) for problem in self.problems
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"cell store {self.root}: {self.n_ok}/{self.n_entries} "
+            "entries verified"
+        ]
+        for problem in self.problems:
+            state = " [quarantined]" if problem.quarantined else ""
+            lines.append(f"  BAD {problem.path}: {problem.reason}{state}")
+        if self.clean:
+            lines.append("store is clean")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CellStorePruneReport:
+    """One :meth:`CellStore.prune` sweep: what was (or would be) removed."""
+
+    root: str
+    n_examined: int
+    removed: tuple[str, ...]
+    n_kept: int
+    dry_run: bool
+    max_age_s: float | None
+    fingerprint: str | None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CELL_STORE_REPORT_SCHEMA,
+            "action": "prune",
+            "root": self.root,
+            "n_examined": self.n_examined,
+            "n_removed": len(self.removed),
+            "removed": list(self.removed),
+            "n_kept": self.n_kept,
+            "dry_run": self.dry_run,
+            "max_age_s": self.max_age_s,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"cell store {self.root}: {verb} {len(self.removed)} of "
+            f"{self.n_examined} entr"
+            f"{'y' if self.n_examined == 1 else 'ies'} "
+            f"({self.n_kept} kept)"
+        )
+
+
 class CellStore:
-    """A store root directory; :meth:`bind` ties it to one campaign."""
+    """A store root directory; :meth:`bind` ties it to one campaign.
+
+    The unbound store also carries the hygiene sweeps (:meth:`stats`,
+    :meth:`verify`, :meth:`prune`) — they operate on whatever entries
+    are on disk, across every campaign that ever wrote to the root.
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -70,6 +239,217 @@ class CellStore:
         }
         return BoundCellStore(root=self.root, base=base)
 
+    def entry_paths(self) -> list[Path]:
+        """Entry files currently in the store, sorted for stable sweeps.
+
+        A snapshot: files may vanish (concurrent prune) or appear
+        (another campaign writing) before a sweep reaches them; every
+        consumer tolerates both.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("[0-9a-f][0-9a-f]/*.json"))
+
+    def stats(self) -> CellStoreStats:
+        """Sweep the store: entry counts and bytes per campaign base."""
+        n_entries = 0
+        total_bytes = 0
+        n_unreadable = 0
+        campaigns: dict[str, int] = {}
+        for path in self.entry_paths():
+            try:
+                text = path.read_text()
+                size = path.stat().st_size
+            except OSError:
+                continue  # vanished mid-sweep: concurrent prune
+            try:
+                entry = json.loads(text)
+                base = str(entry.get("base", "unknown"))
+            except (json.JSONDecodeError, AttributeError):
+                n_unreadable += 1
+                continue
+            n_entries += 1
+            total_bytes += size
+            campaigns[base] = campaigns.get(base, 0) + 1
+        quarantine = self.root / QUARANTINE_DIR
+        n_quarantined = (
+            sum(1 for _ in quarantine.glob("*.json"))
+            if quarantine.is_dir()
+            else 0
+        )
+        return CellStoreStats(
+            root=str(self.root),
+            n_entries=n_entries,
+            total_bytes=total_bytes,
+            campaigns=campaigns,
+            n_unreadable=n_unreadable,
+            n_quarantined=n_quarantined,
+        )
+
+    def verify(self, fix: bool = False) -> CellStoreVerifyReport:
+        """Integrity-sweep every entry; ``fix`` quarantines bad ones.
+
+        Checks each entry parses, carries the store schema tag, sits at
+        the path its key demands, and holds finite metric floats.  A
+        bad entry is reported (never silently skipped); with ``fix`` it
+        is moved to ``root/quarantine/`` — out of the lookup path, but
+        preserved for diagnosis rather than deleted.  Entries another
+        process deletes mid-sweep are skipped, not errors.
+        """
+        n_entries = 0
+        n_ok = 0
+        problems: list[CellStoreProblem] = []
+        for path in self.entry_paths():
+            try:
+                text = path.read_text()
+            except OSError:
+                continue  # vanished mid-sweep: concurrent prune
+            n_entries += 1
+            reason = self._entry_problem(path, text)
+            if reason is None:
+                n_ok += 1
+                continue
+            quarantined = False
+            if fix:
+                quarantined = self._quarantine(path)
+            problems.append(
+                CellStoreProblem(
+                    path=str(path), reason=reason, quarantined=quarantined
+                )
+            )
+        return CellStoreVerifyReport(
+            root=str(self.root),
+            n_entries=n_entries,
+            n_ok=n_ok,
+            problems=tuple(problems),
+            fixed=fix,
+        )
+
+    def prune(
+        self,
+        max_age_s: float | None = None,
+        fingerprint: str | None = None,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> CellStorePruneReport:
+        """Remove entries by age and/or by campaign-base digest.
+
+        Args:
+            max_age_s: remove entries whose file mtime is older than
+                this many seconds before ``now``.
+            fingerprint: remove entries whose ``base`` digest equals
+                this (a retired configuration's cells); entries
+                predating the field never match.
+            now: the reference timestamp for the age criterion (the CLI
+                passes the wall clock; tests pin it).  Required with
+                ``max_age_s``.
+            dry_run: report what would be removed without touching disk.
+
+        Raises:
+            ConfigurationError: no criterion given, or ``max_age_s``
+                without ``now``.
+        """
+        if max_age_s is None and fingerprint is None:
+            raise ConfigurationError(
+                "prune needs a criterion: max_age_s and/or fingerprint"
+            )
+        if max_age_s is not None and now is None:
+            raise ConfigurationError("prune by age needs 'now'")
+        n_examined = 0
+        removed: list[str] = []
+        n_kept = 0
+        for path in self.entry_paths():
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # vanished mid-sweep: concurrent prune
+            n_examined += 1
+            drop = False
+            if max_age_s is not None:
+                assert now is not None
+                drop = now - mtime > max_age_s
+            if not drop and fingerprint is not None:
+                drop = self._entry_base(path) == fingerprint
+            if not drop:
+                n_kept += 1
+                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass  # another pruner won the race; same outcome
+            removed.append(str(path))
+        if not dry_run:
+            self._drop_empty_prefix_dirs()
+        return CellStorePruneReport(
+            root=str(self.root),
+            n_examined=n_examined,
+            removed=tuple(removed),
+            n_kept=n_kept,
+            dry_run=dry_run,
+            max_age_s=max_age_s,
+            fingerprint=fingerprint,
+        )
+
+    def _entry_base(self, path: Path) -> str | None:
+        try:
+            entry = json.loads(path.read_text())
+            base = entry.get("base")
+        except (OSError, json.JSONDecodeError, AttributeError):
+            return None
+        return base if isinstance(base, str) else None
+
+    @staticmethod
+    def _entry_problem(path: Path, text: str) -> str | None:
+        """Why this entry is damaged, or None when it is healthy."""
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            return "not valid JSON (truncated or corrupt)"
+        if not isinstance(entry, dict):
+            return "entry is not a JSON object"
+        if entry.get("schema") != CELL_STORE_SCHEMA:
+            return f"foreign schema {entry.get('schema')!r}"
+        key = entry.get("key")
+        if key != path.stem:
+            return f"key {key!r} does not match the entry path"
+        if path.parent.name != path.stem[:2]:
+            return "entry filed under the wrong prefix directory"
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            return "entry carries no metrics object"
+        for field in _METRIC_FIELDS:
+            value = metrics.get(field)
+            if not isinstance(value, (int, float)) or isinstance(
+                value, bool
+            ):
+                return f"metric {field!r} missing or non-numeric"
+            if not isfinite(value):
+                return f"metric {field!r} is not finite"
+        return None
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move one damaged entry out of the lookup path; True on success."""
+        quarantine = self.root / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            return False  # vanished or unwritable: nothing left to move
+        return True
+
+    def _drop_empty_prefix_dirs(self) -> None:
+        """Best-effort removal of prefix dirs prune emptied."""
+        if not self.root.is_dir():
+            return
+        for child in self.root.iterdir():
+            if child.name == QUARANTINE_DIR or not child.is_dir():
+                continue
+            try:
+                child.rmdir()
+            except OSError:
+                pass  # not empty, or a writer raced us back in
+
 
 class BoundCellStore:
     """One campaign's view of the store: get/put by :class:`CampaignCell`."""
@@ -77,6 +457,10 @@ class BoundCellStore:
     def __init__(self, root: Path, base: dict):
         self.root = root
         self.base = base
+        #: Digest of the campaign base (config + bench) alone — written
+        #: into every entry so the hygiene sweeps can group and prune
+        #: one campaign's cells without recomputing any per-cell key.
+        self.base_digest = _digest(base)
         self.hits = 0
         self.misses = 0
 
@@ -90,10 +474,7 @@ class BoundCellStore:
                 "die_seed": int(cell.die_seed),
             },
         }
-        digest = hashlib.sha256(
-            json.dumps(payload, sort_keys=True).encode()
-        ).hexdigest()
-        return digest
+        return _digest(payload)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -138,7 +519,13 @@ class BoundCellStore:
         return result
 
     def put(self, cell: CampaignCell, metrics: CellMetrics) -> None:
-        """Store one completed cell (idempotent; atomic per entry)."""
+        """Store one completed cell (idempotent; atomic per entry).
+
+        Best-effort against concurrent hygiene: a prune that removes
+        the prefix directory between our mkdir and the write is retried
+        once; losing the race twice leaves the entry unwritten (the
+        cell is simply recomputed next time), never raises.
+        """
         key = self._key(cell)
         path = self._path(key)
         if path.exists():
@@ -146,6 +533,7 @@ class BoundCellStore:
         entry = {
             "schema": CELL_STORE_SCHEMA,
             "key": key,
+            "base": self.base_digest,
             "cell": {
                 "corner": cell.corner.value,
                 "temperature_c": float(cell.temperature_c),
@@ -159,7 +547,17 @@ class BoundCellStore:
                 "enob_bits": metrics.enob_bits,
             },
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        payload = json.dumps(entry, sort_keys=True) + "\n"
+        for attempt in range(2):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_text(payload)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                # A concurrent prune rmdir'ed the prefix directory
+                # between mkdir and write/replace; retry once.
+                if attempt:
+                    return
+                continue
+            return

@@ -1,0 +1,754 @@
+"""Gap-driven dispatch loop: sharded campaigns that finish themselves.
+
+PR 8's shard layer left one loop open: a shard killed mid-run leaves
+its ledger partial, ``repro campaign-merge`` reports the gap — and a
+human re-runs the missing ranges by hand.  This module is the closing
+brick.  :class:`CampaignDispatcher` plans shards from a
+:class:`~repro.runtime.campaign.CampaignSpec`, launches each as a real
+``repro campaign --cell-range`` subprocess against its own per-shard
+ledger, then loops: merge every ledger in the work directory, read the
+missing cell indices, coalesce them into contiguous ranges
+(:func:`repro.runtime.shards.coalesce_cell_ranges`) and re-dispatch
+*only those ranges* — until the merge is complete or the retry budget
+is exhausted.
+
+Design rules, in order:
+
+1. **The merge is the source of truth.**  The dispatcher never trusts
+   a subprocess's exit code to decide what work remains — a shard that
+   died after completing 5 of 6 cells contributed 5 cells, and only
+   the ledger knows.  Every round re-reads every ledger; the retry
+   unit is a gap range, not a shard.
+2. **Resumable at the dispatcher level.**  Existing ledgers in the
+   work directory are merged *before* any work is launched, so a
+   crashed dispatcher recovers the same way a crashed shard does:
+   re-run the same command, only the gaps execute.  Re-dispatched
+   ranges reuse their ledger path with ``--resume``, so even a
+   partially-complete retry keeps its cells.
+3. **Deterministic decisions.**  Retry order, range planning and the
+   backoff jitter derive from the campaign fingerprint and the round
+   index alone — no wall clock and no ``random`` in any decision path
+   (``repro lint`` stays clean; the only clock reads are the timeout/
+   wait *measurements*, which decide nothing about the results).
+4. **Failure is bounded.**  Each cell may be dispatched at most
+   ``1 + max_retries`` times; a range that keeps dying exhausts the
+   budget and the report says so instead of looping forever.  A shard
+   that outlives ``timeout_s`` is killed and its range re-enters the
+   gap pool.
+
+Fault injection for tests and the CI gate: ``REPRO_FAULT_KILL_SHARD``
+(``"<range-position>"`` or ``"<range-position>:<after-cells>"``) makes
+the CLI ask the dispatcher to SIGKILL the given first-round shard once
+its ledger holds the given number of cell records — a deterministic
+stand-in for the preempted worker the loop exists to survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+
+from repro.core.config import AdcConfig
+from repro.errors import ConfigurationError
+from repro.profiling import active
+from repro.runtime.campaign import (
+    CampaignLedger,
+    CampaignReport,
+    CampaignSpec,
+    CellMetrics,
+)
+from repro.runtime.shards import coalesce_cell_ranges
+from repro.schemas import DISPATCH_REPORT_SCHEMA
+
+#: Fraction of the base delay the deterministic jitter may add.
+JITTER_SPREAD = 0.25
+
+#: Environment hook the CLI turns into ``fault_kill`` (see module doc).
+FAULT_KILL_ENV = "REPRO_FAULT_KILL_SHARD"
+
+
+def backoff_jitter(
+    fingerprint_digest: str, round_index: int
+) -> float:
+    """Deterministic jitter fraction in ``[0, 1)`` for one retry round.
+
+    Derived from the campaign fingerprint digest and the round index
+    via SHA-256 — the same campaign backs off the same way on every
+    machine and every re-run, while different campaigns desynchronize
+    against shared infrastructure.  No RNG object is constructed and
+    no clock is read.
+    """
+    payload = f"{fingerprint_digest}:{round_index}".encode()
+    return int.from_bytes(sha256(payload).digest()[:8], "big") / 2.0**64
+
+
+def backoff_delay_s(
+    base_s: float,
+    cap_s: float,
+    round_index: int,
+    fingerprint_digest: str,
+) -> float:
+    """Exponential backoff with deterministic jitter for retry ``round_index``.
+
+    ``base * 2**round_index`` capped at ``cap_s``, stretched by up to
+    ``JITTER_SPREAD`` of itself by :func:`backoff_jitter`.  Round 0 is
+    the first *retry* round; the initial dispatch never waits.
+    """
+    if base_s <= 0.0:
+        return 0.0
+    raw = min(cap_s, base_s * (2.0**round_index))
+    return raw * (1.0 + JITTER_SPREAD * backoff_jitter(
+        fingerprint_digest, round_index
+    ))
+
+
+@dataclass(frozen=True)
+class DispatchAttempt:
+    """One subprocess launched for one cell range.
+
+    Attributes:
+        start: first grid cell of the dispatched range.
+        stop: one past the last grid cell of the range.
+        round: dispatch round (0 = the initial wave).
+        attempt: highest per-cell dispatch count this launch represents
+            (1-based; budgeted against ``1 + max_retries``).
+        ledger: the shard ledger the subprocess wrote.
+        exit_code: the subprocess return code (negative = killed by
+            that signal, e.g. -9 after a timeout or injected fault).
+        timed_out: True when the dispatcher killed the shard for
+            exceeding ``timeout_s``.
+        fault_injected: True when the test/CI fault hook killed it.
+        elapsed_s: wall seconds from launch to reap.
+    """
+
+    start: int
+    stop: int
+    round: int
+    attempt: int
+    ledger: str
+    exit_code: int | None
+    timed_out: bool
+    fault_injected: bool
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class DispatchReport:
+    """The full history of one dispatch run, plus the merged campaign.
+
+    Attributes:
+        spec: the campaign grid and bench settings.
+        shards: planned first-wave shard count (also the concurrency
+            cap for every later wave).
+        max_retries: re-dispatches allowed per cell beyond the first.
+        timeout_s: per-shard kill deadline (None = none).
+        rounds: dispatch rounds actually run.
+        attempts: every launched subprocess, in launch order.
+        backoffs_s: the delay slept before each retry round.
+        resumed_cells: cells already present in the work directory
+            before any subprocess was launched (dispatcher resume).
+        unreadable_ledgers: work-dir ledgers skipped as unreadable
+            (deleted and re-run rather than merged).
+        complete: the merged grid has no missing cells.
+        exhausted: the retry budget ran out with cells still missing.
+        missing_cells: grid indices still absent from the merge.
+        report: the merged :class:`CampaignReport` (the sign-off
+            document; bit-identical to a single-process run when
+            complete).
+        elapsed_s: dispatcher wall time end to end.
+    """
+
+    spec: CampaignSpec
+    shards: int
+    max_retries: int
+    timeout_s: float | None
+    rounds: int
+    attempts: tuple[DispatchAttempt, ...]
+    backoffs_s: tuple[float, ...]
+    resumed_cells: int
+    unreadable_ledgers: tuple[str, ...]
+    complete: bool
+    exhausted: bool
+    missing_cells: tuple[int, ...]
+    report: CampaignReport
+    elapsed_s: float
+
+    @property
+    def redispatched_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Ranges launched after the initial wave, in launch order."""
+        return tuple(
+            (attempt.start, attempt.stop)
+            for attempt in self.attempts
+            if attempt.round > 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": DISPATCH_REPORT_SCHEMA,
+            "shards": self.shards,
+            "max_retries": self.max_retries,
+            "timeout_s": self.timeout_s,
+            "rounds": self.rounds,
+            "n_attempts": len(self.attempts),
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+            "redispatched_ranges": [
+                list(cell_range)
+                for cell_range in self.redispatched_ranges
+            ],
+            "backoffs_s": list(self.backoffs_s),
+            "resumed_cells": self.resumed_cells,
+            "unreadable_ledgers": list(self.unreadable_ledgers),
+            "complete": self.complete,
+            "exhausted": self.exhausted,
+            "missing_cells": list(self.missing_cells),
+            "elapsed_s": self.elapsed_s,
+            "campaign": self.report.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        # An exhausted dispatch can end with zero cells; the campaign
+        # report cannot render a worst cell then.
+        if self.report.cells:
+            lines = [self.report.render(), ""]
+        else:
+            lines = ["dispatch completed no cells", ""]
+        for attempt in self.attempts:
+            notes = []
+            if attempt.timed_out:
+                notes.append("timed out")
+            if attempt.fault_injected:
+                notes.append("fault-killed")
+            note = f" ({', '.join(notes)})" if notes else ""
+            lines.append(
+                f"  round {attempt.round}: cells "
+                f"[{attempt.start}, {attempt.stop}) attempt "
+                f"{attempt.attempt} -> exit {attempt.exit_code}"
+                f"{note}, {attempt.elapsed_s:.2f} s"
+            )
+        if self.complete:
+            status = "complete"
+        elif self.exhausted:
+            status = (
+                f"EXHAUSTED with {len(self.missing_cells)} cell(s) "
+                "missing"
+            )
+        else:
+            status = f"INCOMPLETE ({len(self.missing_cells)} missing)"
+        resumed = (
+            f" {self.resumed_cells} cell(s) resumed from work dir,"
+            if self.resumed_cells
+            else ""
+        )
+        lines.append(
+            f"dispatch: {status}, {self.shards} shard(s), "
+            f"{self.rounds} round(s), {len(self.attempts)} "
+            f"dispatch(es),{resumed} {self.elapsed_s:.2f} s"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class _Launched:
+    """Bookkeeping for one running shard subprocess."""
+
+    start: int
+    stop: int
+    attempt: int
+    ledger: Path
+    process: subprocess.Popen
+    started_monotonic: float
+    deadline_monotonic: float | None
+    fault_after_cells: int | None = None
+    timed_out: bool = False
+    fault_injected: bool = False
+
+
+class CampaignDispatcher:
+    """Run a sharded campaign to completion through gap re-dispatch.
+
+    Args:
+        spec: the campaign grid and bench settings.
+        config: converter configuration (paper default when omitted).
+            Must be expressible on the ``repro campaign`` command line,
+            i.e. the default config — the subprocesses rebuild it.
+        shards: first-wave shard count and per-wave concurrency cap
+            (clamped to the grid size).
+        work_dir: directory holding the per-shard ledgers; the unit of
+            dispatcher resume.  Must not mix campaigns.
+        max_retries: re-dispatches allowed per cell beyond its first
+            launch before the budget is exhausted.
+        timeout_s: kill a shard subprocess exceeding this wall time;
+            its range re-enters the gap pool.
+        backoff_base_s: base of the exponential retry backoff (0
+            disables waiting; the jitter stays deterministic either
+            way).
+        backoff_cap_s: ceiling on the un-jittered backoff delay.
+        poll_interval_s: subprocess poll cadence.
+        engine: execution engine for the shard subprocesses.
+        workers: worker processes per shard subprocess.
+        cell_chunk: cells per vectorized batch inside each shard
+            (``1`` makes the ledger checkpoint per cell — what the
+            fault-injection tests and CI gate use).
+        cell_store: content-addressed cell store shared by all shards.
+        fsync: per-shard ledger fsync policy (also used for
+            ``out_ledger``).
+        out_ledger: when given, write the merged cells as a whole-grid
+            ledger there after the loop ends.
+        fault_kill: ``(range_position, after_cells)`` — SIGKILL the
+            first-round shard at that launch position once its ledger
+            holds ``after_cells`` cell records (and, so the fault
+            always leaves a gap to recover, before it holds its whole
+            range).  Test/CI hook; the CLI fills it from
+            ``REPRO_FAULT_KILL_SHARD``.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        config: AdcConfig | None = None,
+        *,
+        shards: int,
+        work_dir: str | Path,
+        max_retries: int = 2,
+        timeout_s: float | None = None,
+        backoff_base_s: float = 0.0,
+        backoff_cap_s: float = 60.0,
+        poll_interval_s: float = 0.05,
+        engine: str = "vectorized",
+        workers: int = 1,
+        cell_chunk: int | None = None,
+        cell_store: str | Path | None = None,
+        fsync: bool = True,
+        out_ledger: str | Path | None = None,
+        fault_kill: tuple[int, int] | None = None,
+    ):
+        if shards < 1:
+            raise ConfigurationError(
+                f"dispatcher needs >= 1 shard, got {shards}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {timeout_s}"
+            )
+        self.spec = spec
+        self.config = config or AdcConfig.paper_default()
+        self.shards = min(shards, spec.n_cells)
+        self.work_dir = Path(work_dir)
+        self.max_retries = max_retries
+        self.timeout_s = timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.poll_interval_s = poll_interval_s
+        self.engine = engine
+        self.workers = workers
+        self.cell_chunk = cell_chunk
+        self.cell_store = cell_store
+        self.fsync = fsync
+        self.out_ledger = out_ledger
+        self.fault_kill = fault_kill
+        self._fingerprint = spec.fingerprint(self.config)
+        self._fingerprint_digest = sha256(
+            json.dumps(self._fingerprint, sort_keys=True).encode()
+        ).hexdigest()
+
+    # --- planning --------------------------------------------------------
+
+    def plan_ranges(
+        self, missing: tuple[int, ...]
+    ) -> tuple[tuple[int, int], ...]:
+        """The cell ranges one round dispatches for these missing cells.
+
+        A full grid splits exactly like :meth:`CampaignSpec.shards`
+        (contiguous, disjoint, balanced to within one cell); partial
+        gaps coalesce into contiguous ranges, and the widest ranges
+        split in half until the round has up to ``shards`` units of
+        work (never splitting below one cell).  Pure function of the
+        inputs — no clock, no RNG.
+        """
+        if not missing:
+            return ()
+        if len(missing) == self.spec.n_cells:
+            return tuple(
+                shard.cell_range for shard in self.spec.shards(self.shards)
+            )
+        ranges = list(coalesce_cell_ranges(missing))
+        while len(ranges) < self.shards:
+            widest = max(
+                range(len(ranges)),
+                key=lambda i: (ranges[i][1] - ranges[i][0], -i),
+            )
+            start, stop = ranges[widest]
+            if stop - start < 2:
+                break
+            mid = (start + stop) // 2
+            ranges[widest : widest + 1] = [(start, mid), (mid, stop)]
+        return tuple(sorted(ranges))
+
+    def _ledger_path(self, start: int, stop: int) -> Path:
+        return self.work_dir / f"range-{start:06d}-{stop:06d}.jsonl"
+
+    def _command(self, start: int, stop: int, ledger: Path) -> list[str]:
+        """The ``repro campaign`` invocation for one cell range.
+
+        Floats travel as ``repr`` so they round-trip bit-exactly
+        through the child's ``float()`` parse; die seeds are passed
+        resolved, so the child's fingerprint equals the parent's even
+        though the root seed is not on the command line.
+        """
+        spec = self.spec
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "campaign",
+            "--corners",
+            ",".join(corner.value for corner in spec.corners),
+            "--temps={}".format(
+                ",".join(repr(float(t)) for t in spec.temperatures_c)
+            ),
+            "--dies",
+            str(spec.n_dies),
+            "--die-seeds",
+            ",".join(str(seed) for seed in spec.resolved_die_seeds()),
+            "--rate",
+            repr(float(spec.conversion_rate)),
+            "--fin",
+            repr(float(spec.input_frequency)),
+            "--fft-points",
+            str(spec.n_samples),
+            "--amplitude",
+            repr(float(spec.amplitude_fraction)),
+            "--supply-scale",
+            repr(float(spec.supply_scale)),
+            "--precision",
+            spec.precision,
+            "--engine",
+            self.engine,
+            "--workers",
+            str(self.workers),
+            "--cell-range",
+            f"{start}:{stop}",
+            "--ledger",
+            str(ledger),
+            "--resume",
+        ]
+        if self.cell_chunk is not None:
+            command += ["--cell-chunk", str(self.cell_chunk)]
+        if not self.fsync:
+            command.append("--no-fsync")
+        if self.cell_store is not None:
+            command += ["--cell-store", str(self.cell_store)]
+        return command
+
+    def _subprocess_env(self) -> dict[str, str]:
+        """Child env: the parent's, with this checkout importable."""
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        previous = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + previous if previous else src_root
+        )
+        return env
+
+    # --- merge (the source of truth) -------------------------------------
+
+    def _gather(self) -> tuple[dict[int, CellMetrics], tuple[str, ...]]:
+        """Merge every readable work-dir ledger into one record map.
+
+        Unreadable ledgers (empty file, torn header — the remains of a
+        killed shard) are reported and skipped; their cells simply stay
+        missing.  A ledger from a *different campaign* is an error: the
+        work directory is the dispatcher's resume identity, and mixing
+        campaigns in one would corrupt it silently.
+        """
+        records: dict[int, CellMetrics] = {}
+        source: dict[int, Path] = {}
+        unreadable: list[str] = []
+        for path in sorted(self.work_dir.glob("range-*.jsonl")):
+            try:
+                contents = CampaignLedger(path).read()
+            except ConfigurationError:
+                unreadable.append(str(path))
+                continue
+            if contents.fingerprint != self._fingerprint:
+                raise ConfigurationError(
+                    f"work dir {self.work_dir} holds ledger {path} from "
+                    "a different campaign; refusing to dispatch into it"
+                )
+            for index, metrics in contents.records.items():
+                held = records.get(index)
+                if held is None:
+                    records[index] = metrics
+                    source[index] = path
+                elif held != metrics:
+                    raise ConfigurationError(
+                        f"work-dir ledgers disagree on cell {index}: "
+                        f"{source[index]} and {path} hold conflicting "
+                        "records"
+                    )
+        return records, tuple(unreadable)
+
+    def _missing(
+        self, records: dict[int, CellMetrics]
+    ) -> tuple[int, ...]:
+        return tuple(
+            index
+            for index in range(self.spec.n_cells)
+            if index not in records
+        )
+
+    def _prepare_ledger(self, path: Path) -> None:
+        """Make a range's ledger resumable: drop it when unreadable.
+
+        A shard killed before its header hit disk leaves a file
+        ``--resume`` would refuse; deleting it lets the re-dispatch
+        start fresh (the records, if any, were unreadable anyway).
+        """
+        if not path.exists():
+            return
+        try:
+            CampaignLedger(path).read()
+        except ConfigurationError:
+            path.unlink(missing_ok=True)
+
+    # --- the loop --------------------------------------------------------
+
+    def run(self) -> DispatchReport:
+        """Dispatch until the merge is complete or retries are exhausted."""
+        t_start = time.monotonic()
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        records, unreadable = self._gather()
+        resumed_cells = len(records)
+        all_unreadable = list(unreadable)
+        attempts: list[DispatchAttempt] = []
+        backoffs: list[float] = []
+        dispatch_count: dict[int, int] = {}
+        fault = self.fault_kill
+        rounds = 0
+        exhausted = False
+        while True:
+            missing = self._missing(records)
+            if not missing:
+                break
+            ranges = self.plan_ranges(missing)
+            wave = []
+            for start, stop in ranges:
+                attempt_no = 1 + max(
+                    dispatch_count.get(index, 0)
+                    for index in range(start, stop)
+                )
+                wave.append((start, stop, attempt_no))
+            if any(
+                attempt_no > 1 + self.max_retries
+                for _, _, attempt_no in wave
+            ):
+                exhausted = True
+                break
+            if rounds > 0:
+                delay = backoff_delay_s(
+                    self.backoff_base_s,
+                    self.backoff_cap_s,
+                    rounds - 1,
+                    self._fingerprint_digest,
+                )
+                backoffs.append(delay)
+                if delay > 0.0:
+                    recorder = active()
+                    if recorder is not None:
+                        recorder.add("dispatch", "backoff", delay)
+                    time.sleep(delay)
+            attempts.extend(
+                self._run_wave(wave, rounds, fault if rounds == 0 else None)
+            )
+            fault = None
+            for start, stop, _ in wave:
+                for index in range(start, stop):
+                    dispatch_count[index] = (
+                        dispatch_count.get(index, 0) + 1
+                    )
+            rounds += 1
+            records, unreadable = self._gather()
+            all_unreadable.extend(
+                path for path in unreadable if path not in all_unreadable
+            )
+        missing = self._missing(records)
+        report = CampaignReport.from_records(self.spec, records)
+        if self.out_ledger is not None and records:
+            ledger = CampaignLedger(self.out_ledger, fsync=self.fsync)
+            ledger.start(self._fingerprint)
+            ledger.record(records[index] for index in sorted(records))
+        return DispatchReport(
+            spec=self.spec,
+            shards=self.shards,
+            max_retries=self.max_retries,
+            timeout_s=self.timeout_s,
+            rounds=rounds,
+            attempts=tuple(attempts),
+            backoffs_s=tuple(backoffs),
+            resumed_cells=resumed_cells,
+            unreadable_ledgers=tuple(all_unreadable),
+            complete=not missing,
+            exhausted=exhausted,
+            missing_cells=missing,
+            report=report,
+            elapsed_s=time.monotonic() - t_start,
+        )
+
+    def _run_wave(
+        self,
+        wave: list[tuple[int, int, int]],
+        round_index: int,
+        fault: tuple[int, int] | None,
+    ) -> list[DispatchAttempt]:
+        """Launch one round's ranges (at most ``shards`` concurrent)."""
+        wave_start = time.monotonic()
+        pending = list(wave)
+        position = 0
+        running: list[_Launched] = []
+        finished: list[tuple[_Launched, int]] = []
+        env = self._subprocess_env()
+        while pending or running:
+            while pending and len(running) < self.shards:
+                start, stop, attempt_no = pending.pop(0)
+                ledger = self._ledger_path(start, stop)
+                self._prepare_ledger(ledger)
+                now = time.monotonic()
+                launched = _Launched(
+                    start=start,
+                    stop=stop,
+                    attempt=attempt_no,
+                    ledger=ledger,
+                    process=subprocess.Popen(
+                        self._command(start, stop, ledger),
+                        env=env,
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                    ),
+                    started_monotonic=now,
+                    deadline_monotonic=(
+                        now + self.timeout_s
+                        if self.timeout_s is not None
+                        else None
+                    ),
+                )
+                if fault is not None and position == fault[0]:
+                    launched.fault_after_cells = fault[1]
+                position += 1
+                running.append(launched)
+            still_running: list[_Launched] = []
+            for launched in running:
+                code = launched.process.poll()
+                if code is not None:
+                    finished.append((launched, code))
+                    continue
+                # The fault fires only while the shard still has cells
+                # left to write: a kill after the last record leaves no
+                # gap, which would silently defeat what the hook tests.
+                if (
+                    launched.fault_after_cells is not None
+                    and launched.fault_after_cells
+                    <= self._ledger_cell_count(launched.ledger)
+                    < launched.stop - launched.start
+                ):
+                    launched.fault_injected = True
+                    launched.fault_after_cells = None
+                    launched.process.kill()
+                elif (
+                    launched.deadline_monotonic is not None
+                    and time.monotonic() > launched.deadline_monotonic
+                ):
+                    launched.timed_out = True
+                    launched.process.kill()
+                still_running.append(launched)
+            running = still_running
+            if running:
+                time.sleep(self.poll_interval_s)
+        recorder = active()
+        if recorder is not None:
+            recorder.add(
+                "dispatch",
+                "shard-wait",
+                time.monotonic() - wave_start,
+                count=len(wave),
+            )
+        reap_time = time.monotonic()
+        return [
+            DispatchAttempt(
+                start=launched.start,
+                stop=launched.stop,
+                round=round_index,
+                attempt=launched.attempt,
+                ledger=str(launched.ledger),
+                exit_code=code,
+                timed_out=launched.timed_out,
+                fault_injected=launched.fault_injected,
+                elapsed_s=reap_time - launched.started_monotonic,
+            )
+            for launched, code in finished
+        ]
+
+    @staticmethod
+    def _ledger_cell_count(path: Path) -> int:
+        """Cell records currently in a ledger file (0 when unreadable).
+
+        The fault hook's trigger only — tolerant of every torn state a
+        ledger passes through while its shard is being written.
+        """
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return -1 if not path.exists() else 0
+        return max(0, sum(1 for line in lines if line.strip()) - 1)
+
+
+def parse_fault_kill(value: str | None) -> tuple[int, int] | None:
+    """Parse the ``REPRO_FAULT_KILL_SHARD`` hook value.
+
+    ``"1"`` kills first-round shard 1 as soon as its ledger exists;
+    ``"1:3"`` waits until it holds 3 cell records.  Either way the kill
+    only fires while the shard still has cells left to write — a shard
+    that outruns the poller simply completes.  None/empty: no fault.
+    """
+    if not value:
+        return None
+    position_text, _, after_text = value.partition(":")
+    try:
+        position = int(position_text)
+        after_cells = int(after_text) if after_text else 0
+        if position < 0 or after_cells < 0:
+            raise ValueError
+    except ValueError:
+        raise ConfigurationError(
+            f"{FAULT_KILL_ENV} must be POSITION[:AFTER_CELLS] with "
+            f"non-negative integers, got {value!r}"
+        ) from None
+    return (position, after_cells)
+
+
+__all__ = [
+    "FAULT_KILL_ENV",
+    "JITTER_SPREAD",
+    "CampaignDispatcher",
+    "DispatchAttempt",
+    "DispatchReport",
+    "backoff_delay_s",
+    "backoff_jitter",
+    "parse_fault_kill",
+]

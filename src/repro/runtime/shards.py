@@ -32,7 +32,6 @@ from pathlib import Path
 
 from repro.core.config import AdcConfig
 from repro.errors import ConfigurationError
-from repro.runtime.batch import BatchResult
 from repro.runtime.campaign import (
     CampaignCell,
     CampaignLedger,
@@ -125,9 +124,39 @@ def spec_from_fingerprint(fingerprint: dict) -> CampaignSpec:
         ) from None
 
 
+def coalesce_cell_ranges(
+    indices: Iterable[int],
+) -> tuple[tuple[int, int], ...]:
+    """Collapse cell indices into minimal contiguous ``[start, stop)`` runs.
+
+    The dispatcher's retry unit: ``missing_cell_indices()`` comes back
+    as individual cells, but a re-dispatched shard takes a contiguous
+    ``--cell-range`` — so adjacent gaps fuse into one range and each
+    isolated cell becomes a singleton range.  Input order and
+    duplicates do not matter; the output is sorted and disjoint.
+
+    >>> coalesce_cell_ranges([3, 4, 5, 9, 11, 12])
+    ((3, 6), (9, 10), (11, 13))
+    """
+    unique = sorted(set(int(index) for index in indices))
+    for index in unique:
+        if index < 0:
+            raise ConfigurationError(
+                f"cell indices must be >= 0, got {index}"
+            )
+    ranges: list[tuple[int, int]] = []
+    for index in unique:
+        if ranges and index == ranges[-1][1]:
+            ranges[-1] = (ranges[-1][0], index + 1)
+        else:
+            ranges.append((index, index + 1))
+    return tuple(ranges)
+
+
 def merge_campaign_ledgers(
     paths: Sequence[str | Path] | Iterable[str | Path],
     out_ledger: str | Path | None = None,
+    fsync: bool = True,
 ) -> CampaignReport:
     """Merge shard ledgers into one campaign-wide report.
 
@@ -137,6 +166,11 @@ def merge_campaign_ledgers(
         out_ledger: when given, also write the merged cells as a fresh
             whole-grid ledger there — resumable by the unsharded
             campaign.
+        fsync: fsync policy for the ``out_ledger`` write (default on,
+            matching :class:`CampaignLedger`); the dispatcher passes
+            ``False`` for its internal merges, where the shard ledgers
+            already carry the durability and a tmpfs merge should not
+            pay per-batch fsyncs.
 
     Returns:
         A :class:`CampaignReport` with ``engine="merged"`` over the
@@ -179,24 +213,16 @@ def merge_campaign_ledgers(
                 )
     assert fingerprint is not None
     spec = spec_from_fingerprint(fingerprint)
-    cells = tuple(merged[index] for index in sorted(merged))
     if out_ledger is not None:
-        ledger = CampaignLedger(out_ledger)
+        ledger = CampaignLedger(out_ledger, fsync=fsync)
         ledger.start(fingerprint)
-        ledger.record(cells)
-    return CampaignReport(
-        spec=spec,
-        cells=cells,
-        batch=BatchResult(
-            outcomes=(), workers=1, chunk_size=1, elapsed_s=0.0
-        ),
-        engine="merged",
-        resumed_cells=len(cells),
-    )
+        ledger.record(merged[index] for index in sorted(merged))
+    return CampaignReport.from_records(spec, merged)
 
 
 __all__ = [
     "CampaignShard",
+    "coalesce_cell_ranges",
     "merge_campaign_ledgers",
     "run_campaign_shard",
     "spec_from_fingerprint",

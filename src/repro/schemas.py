@@ -34,7 +34,21 @@ CAMPAIGN_LEDGER_SCHEMA = "repro.campaign-ledger/v2"
 #: Content-addressed cell-result store entries
 #: (:mod:`repro.runtime.cell_store`): one completed campaign cell,
 #: keyed by (config fingerprint, PVT point, die seed, bench settings).
+#: Still v1: the optional ``base`` field (the campaign-base digest the
+#: hygiene tooling prunes by) is additive — v1 readers ignore it and
+#: entries without it stay valid.
 CELL_STORE_SCHEMA = "repro.cell-store/v1"
+
+#: Cell-store hygiene documents (``repro cell-store
+#: stats|verify|prune --json``): one store sweep — entry counts and
+#: sizes per campaign base, integrity problems (with quarantine
+#: outcomes), or prune decisions.
+CELL_STORE_REPORT_SCHEMA = "repro.cell-store-report/v1"
+
+#: Dispatch reports (``repro campaign-dispatch --json``): the full
+#: retry history of a gap-driven sharded campaign — per-range attempts
+#: with exit codes, backoff delays, and the merged campaign document.
+DISPATCH_REPORT_SCHEMA = "repro.dispatch-report/v1"
 
 #: Raw per-stage profile documents
 #: (:meth:`repro.profiling.ProfileRecorder.to_dict`).
